@@ -1,0 +1,253 @@
+//! Ditto (Li et al., VLDB 2020): sequence-level matching with a pretrained
+//! language model, input summarization, and data augmentation.
+//!
+//! Ditto serializes a pair as one token sequence
+//! (`[COL] attr [VAL] tokens ...`), optionally summarizes long inputs by
+//! retaining high-TF-IDF tokens, fine-tunes a Transformer encoder, and
+//! augments training data (the paper's AdaMEL experiments use "token span
+//! deletion"). This port keeps the sequence-level shape: TF-IDF-summarized
+//! serialized sequences embedded with hashed subword vectors (informativeness-weighted mean
+//! pooled), the `[u, v, |u−v|, u⊙v]` interaction head, and span-deletion
+//! augmentation during training.
+
+use crate::common::{BaselineConfig, EntityMatcherModel, MlpHead};
+use adamel_schema::{Domain, EntityPair, Record, Schema};
+use adamel_text::{tokenize_cropped, HashedFastText, TfIdf};
+use adamel_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum summarized sequence length (stands in for the LM's input budget).
+const MAX_SEQ: usize = 48;
+
+/// The Ditto baseline.
+pub struct Ditto {
+    schema: Schema,
+    embedder: HashedFastText,
+    head: MlpHead,
+    tfidf: TfIdf,
+    cfg: BaselineConfig,
+    /// Number of augmented copies per training pair (span deletion).
+    augment_copies: usize,
+}
+
+impl Ditto {
+    /// Builds Ditto over an aligned schema.
+    pub fn new(schema: Schema, cfg: BaselineConfig) -> Self {
+        let embedder = HashedFastText::new(cfg.embed_dim, cfg.seed);
+        // Sequence representation: informativeness-weighted mean pooling
+        // per side (max pooling is meaningless over sign-random hashed
+        // dimensions).
+        let side = cfg.embed_dim;
+        let input = side * 4; // u, v, |u-v|, u*v
+        let hidden = (cfg.embed_dim * 8).max(64);
+        let head = MlpHead::new(&[input, hidden, hidden, 1], cfg.clone());
+        Self { schema, embedder, head, tfidf: TfIdf::new(), cfg, augment_copies: 1 }
+    }
+
+    /// Serializes one record: `[COL] attr [VAL] tokens ...` flattened to
+    /// word tokens (the structure markers become plain tokens, as Ditto's
+    /// special tokens do for the LM).
+    pub fn serialize(&self, record: &Record) -> Vec<String> {
+        let mut seq = Vec::new();
+        for attr in self.schema.attributes() {
+            if let Some(v) = record.get(attr) {
+                seq.push(format!("col_{attr}"));
+                seq.extend(tokenize_cropped(v, self.cfg.crop));
+            }
+        }
+        seq
+    }
+
+    fn summarize(&self, seq: Vec<String>) -> Vec<String> {
+        if self.tfidf.num_docs() == 0 {
+            let mut s = seq;
+            s.truncate(MAX_SEQ);
+            return s;
+        }
+        self.tfidf.summarize(&seq, MAX_SEQ)
+    }
+
+    fn embed_sequence(&self, seq: &[String]) -> Vec<f32> {
+        let d = self.cfg.embed_dim;
+        // Structure markers inform the encoder's segmentation but carry no
+        // matching evidence; pooling skips them (as a fine-tuned LM learns
+        // to) and weights value tokens by informativeness.
+        let values: Vec<&String> = seq.iter().filter(|t| !t.starts_with("col_")).collect();
+        if values.is_empty() {
+            return self.embedder.missing_vector().into_vec();
+        }
+        let mut mean = vec![0.0f32; d];
+        let mut total_w = 0.0f32;
+        for t in &values {
+            let w = if self.tfidf.num_docs() > 0 { self.tfidf.idf(t) } else { 1.0 };
+            total_w += w;
+            let e = self.embedder.embed_token(t);
+            for (m, v) in mean.iter_mut().zip(&e) {
+                *m += w * v;
+            }
+        }
+        mean.iter_mut().for_each(|v| *v /= total_w.max(1e-6));
+        mean
+    }
+
+    fn pair_features(&self, pair: &EntityPair) -> Vec<f32> {
+        let u = self.embed_sequence(&self.summarize(self.serialize(&pair.left)));
+        let v = self.embed_sequence(&self.summarize(self.serialize(&pair.right)));
+        let mut row = Vec::with_capacity(u.len() * 4);
+        row.extend_from_slice(&u);
+        row.extend_from_slice(&v);
+        for (a, b) in u.iter().zip(&v) {
+            row.push((a - b).abs());
+        }
+        for (a, b) in u.iter().zip(&v) {
+            row.push(a * b);
+        }
+        row
+    }
+
+    fn encode(&self, pairs: &[EntityPair]) -> Matrix {
+        let width = self.cfg.embed_dim * 4;
+        let mut data = Vec::with_capacity(pairs.len() * width);
+        for p in pairs {
+            data.extend(self.pair_features(p));
+        }
+        Matrix::from_vec(pairs.len(), width, data)
+    }
+
+    /// Token span deletion: removes a random contiguous span from one
+    /// attribute value of a copy of the pair — Ditto's chosen augmentation
+    /// operator in the paper's configuration.
+    fn span_delete(&self, pair: &EntityPair, rng: &mut StdRng) -> EntityPair {
+        let mut p = pair.clone();
+        let rec = if rng.gen_bool(0.5) { &mut p.left } else { &mut p.right };
+        let attrs: Vec<String> = rec.attributes().map(str::to_owned).collect();
+        if let Some(attr) = attrs.get(rng.gen_range(0..attrs.len().max(1))) {
+            if let Some(v) = rec.get(attr) {
+                let tokens = tokenize_cropped(v, self.cfg.crop);
+                if tokens.len() > 2 {
+                    let span = rng.gen_range(1..=(tokens.len() / 2));
+                    let start = rng.gen_range(0..=tokens.len() - span);
+                    let kept: Vec<String> = tokens
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i < start || *i >= start + span)
+                        .map(|(_, t)| t.clone())
+                        .collect();
+                    rec.set(attr.clone(), kept.join(" "));
+                }
+            }
+        }
+        p
+    }
+}
+
+impl EntityMatcherModel for Ditto {
+    fn name(&self) -> &'static str {
+        "Ditto"
+    }
+
+    fn fit(&mut self, train: &Domain) {
+        // Fit TF-IDF on the training corpus for summarization.
+        self.tfidf = TfIdf::new();
+        for p in &train.pairs {
+            self.tfidf.add_document(&self.serialize(&p.left));
+            self.tfidf.add_document(&self.serialize(&p.right));
+        }
+        // Span-deletion augmentation.
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xd1770);
+        let mut pairs = train.pairs.clone();
+        let mut labels = train.labels();
+        for p in &train.pairs {
+            for _ in 0..self.augment_copies {
+                pairs.push(self.span_delete(p, &mut rng));
+                labels.push(f32::from(p.label.expect("Ditto::fit requires labels")));
+            }
+        }
+        let features = self.encode(&pairs);
+        self.head.fit(&features, &labels);
+    }
+
+    fn predict(&self, pairs: &[EntityPair]) -> Vec<f32> {
+        self.head.predict(&self.encode(pairs))
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.head.num_parameters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamel_schema::SourceId;
+
+    fn schema() -> Schema {
+        Schema::new(vec!["artist".into(), "title".into()])
+    }
+
+    fn rec(kv: &[(&str, &str)], id: u64) -> Record {
+        let mut r = Record::new(SourceId(0), id);
+        for (k, v) in kv {
+            r.set(*k, *v);
+        }
+        r
+    }
+
+    #[test]
+    fn serialization_includes_column_markers() {
+        let d = Ditto::new(schema(), BaselineConfig::tiny());
+        let seq = d.serialize(&rec(&[("title", "hey jude"), ("artist", "beatles")], 1));
+        assert_eq!(seq[0], "col_artist");
+        assert!(seq.contains(&"col_title".to_string()));
+        assert!(seq.contains(&"jude".to_string()));
+    }
+
+    #[test]
+    fn span_deletion_shrinks_values() {
+        let d = Ditto::new(schema(), BaselineConfig::tiny());
+        let mut rng = StdRng::seed_from_u64(0);
+        let pair = EntityPair::labeled(
+            rec(&[("title", "one two three four five six")], 1),
+            rec(&[("title", "one two three four five six")], 1),
+            true,
+        );
+        let mut shrunk = 0;
+        for _ in 0..10 {
+            let aug = d.span_delete(&pair, &mut rng);
+            let la = aug.left.get("title").unwrap_or("").len();
+            let ra = aug.right.get("title").unwrap_or("").len();
+            if la < pair.left.get("title").unwrap().len()
+                || ra < pair.right.get("title").unwrap().len()
+            {
+                shrunk += 1;
+            }
+        }
+        assert!(shrunk >= 8, "only {shrunk}/10 augmentations deleted a span");
+    }
+
+    #[test]
+    fn learns_sequence_match() {
+        let mut d = Ditto::new(schema(), BaselineConfig::tiny());
+        let mut train = Vec::new();
+        for i in 0..10u64 {
+            let l = rec(&[("title", &format!("ballad number {i}") as &str)], i);
+            let r = rec(&[("title", &format!("ballad number {i}") as &str)], i);
+            train.push(EntityPair::labeled(l.clone(), r, true));
+            let w = rec(&[("title", &format!("anthem item {}", i + 30) as &str)], i + 100);
+            train.push(EntityPair::labeled(l, w, false));
+        }
+        d.fit(&Domain::new(train));
+        let pos = d.predict(&[EntityPair::labeled(
+            rec(&[("title", "chorus nine")], 1),
+            rec(&[("title", "chorus nine")], 1),
+            true,
+        )])[0];
+        let neg = d.predict(&[EntityPair::labeled(
+            rec(&[("title", "chorus nine")], 1),
+            rec(&[("title", "completely different")], 2),
+            false,
+        )])[0];
+        assert!(pos > neg, "pos {pos} neg {neg}");
+    }
+}

@@ -1,0 +1,30 @@
+//! # adamel-baselines
+//!
+//! Mechanism-level reimplementations of the five baselines the AdaMEL paper
+//! compares against (§5.1): [`Tler`] (non-deep transfer ER),
+//! [`DeepMatcher`] (per-attribute word-level summaries), [`EntityMatcher`]
+//! (hierarchical cross-attribute token alignment), [`Ditto`]
+//! (sequence-level matching with TF-IDF summarization and span-deletion
+//! augmentation), and [`CorDel`] (compare-and-contrast before embedding).
+//!
+//! All baselines are *supervised only* — they train on labeled `D_S` pairs
+//! and never see the unlabeled target domain, which is exactly the property
+//! the paper's MEL experiments contrast with AdaMEL's domain adaptation. See
+//! the [`common`] module docs and DESIGN.md §2 for the fidelity argument of
+//! this port.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod cordel;
+pub mod deepmatcher;
+pub mod ditto;
+pub mod entitymatcher;
+pub mod tler;
+
+pub use common::{evaluate_f1, evaluate_prauc, BaselineConfig, EntityMatcherModel, MlpHead};
+pub use cordel::CorDel;
+pub use deepmatcher::DeepMatcher;
+pub use ditto::Ditto;
+pub use entitymatcher::EntityMatcher;
+pub use tler::Tler;

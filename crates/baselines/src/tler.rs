@@ -1,0 +1,143 @@
+//! TLER (Thirumuruganathan et al., 2018): non-deep transfer ER.
+//!
+//! TLER defines a *standard feature space* of classical string similarities
+//! per attribute and trains a shallow model, reusing the seen labeled data
+//! for new domains. Following the original, each attribute contributes
+//! Levenshtein, Jaccard, overlap, Monge-Elkan, exact-match, numeric and
+//! embedding-cosine similarities plus a both-missing indicator, classified
+//! by logistic regression.
+
+use crate::common::{BaselineConfig, EntityMatcherModel, MlpHead};
+use adamel_schema::{Domain, EntityPair, Schema};
+use adamel_text::similarity as sim;
+use adamel_text::tokenize_cropped;
+use adamel_tensor::Matrix;
+
+/// Number of engineered features per attribute.
+///
+/// The original TLER feature space is deliberately *standard* (it predates
+/// embedding-based similarity): token Jaccard, normalized edit distance,
+/// exact match, and a both-missing indicator per attribute.
+pub const FEATURES_PER_ATTRIBUTE: usize = 4;
+
+/// The TLER baseline.
+pub struct Tler {
+    schema: Schema,
+    head: MlpHead,
+    cfg: BaselineConfig,
+}
+
+impl Tler {
+    /// Builds TLER over an aligned schema.
+    pub fn new(schema: Schema, cfg: BaselineConfig) -> Self {
+        // Logistic regression: single linear layer to a logit.
+        let head = MlpHead::new(&[schema.len() * FEATURES_PER_ATTRIBUTE, 1], cfg.clone());
+        Self { schema, head, cfg }
+    }
+
+    /// The engineered feature row of one pair.
+    pub fn features(&self, pair: &EntityPair) -> Vec<f32> {
+        let mut row = Vec::with_capacity(self.schema.len() * FEATURES_PER_ATTRIBUTE);
+        for attr in self.schema.attributes() {
+            let la = pair.left.get(attr).unwrap_or("");
+            let ra = pair.right.get(attr).unwrap_or("");
+            let ta = tokenize_cropped(la, self.cfg.crop);
+            let tb = tokenize_cropped(ra, self.cfg.crop);
+            let both_missing = ta.is_empty() && tb.is_empty();
+            if both_missing {
+                row.extend_from_slice(&[0.0; FEATURES_PER_ATTRIBUTE - 1]);
+                row.push(1.0);
+            } else {
+                row.push(sim::levenshtein_similarity(la, ra));
+                row.push(sim::prefix_similarity(la, ra));
+                row.push(sim::exact_match(&ta, &tb));
+                row.push(0.0);
+            }
+        }
+        row
+    }
+
+    fn encode(&self, pairs: &[EntityPair]) -> Matrix {
+        let width = self.schema.len() * FEATURES_PER_ATTRIBUTE;
+        let mut data = Vec::with_capacity(pairs.len() * width);
+        for p in pairs {
+            data.extend(self.features(p));
+        }
+        Matrix::from_vec(pairs.len(), width, data)
+    }
+}
+
+impl EntityMatcherModel for Tler {
+    fn name(&self) -> &'static str {
+        "TLER"
+    }
+
+    fn fit(&mut self, train: &Domain) {
+        let features = self.encode(&train.pairs);
+        self.head.fit(&features, &train.labels());
+    }
+
+    fn predict(&self, pairs: &[EntityPair]) -> Vec<f32> {
+        self.head.predict(&self.encode(pairs))
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.head.num_parameters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamel_schema::{Record, SourceId};
+
+    fn pair(l: &str, r: &str, id_l: u64, id_r: u64) -> EntityPair {
+        let mut a = Record::new(SourceId(0), id_l);
+        a.set("title", l);
+        let mut b = Record::new(SourceId(1), id_r);
+        b.set("title", r);
+        EntityPair::labeled(a, b, id_l == id_r)
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec!["title".into()])
+    }
+
+    #[test]
+    fn features_are_bounded() {
+        let t = Tler::new(schema(), BaselineConfig::tiny());
+        let f = t.features(&pair("hey jude", "hey jude", 1, 1));
+        assert_eq!(f.len(), FEATURES_PER_ATTRIBUTE);
+        for v in &f {
+            assert!((-1.001..=1.001).contains(v), "feature {v} out of range");
+        }
+        // Identical values: every similarity maxed, missing flag off.
+        assert_eq!(f[0], 1.0);
+        assert_eq!(f[2], 1.0);
+        assert_eq!(f[3], 0.0);
+    }
+
+    #[test]
+    fn missing_flag_set_when_both_empty() {
+        let t = Tler::new(schema(), BaselineConfig::tiny());
+        let mut a = Record::new(SourceId(0), 1);
+        a.set("other", "x");
+        let b = Record::new(SourceId(1), 1);
+        let f = t.features(&EntityPair::labeled(a, b, true));
+        assert_eq!(f[FEATURES_PER_ATTRIBUTE - 1], 1.0);
+    }
+
+    #[test]
+    fn learns_similarity_signal() {
+        let mut t = Tler::new(schema(), BaselineConfig::tiny());
+        let mut train = Vec::new();
+        for i in 0..10u64 {
+            train.push(pair(&format!("song number {i}"), &format!("song number {i}"), i, i));
+            train.push(pair(&format!("song number {i}"), &format!("different tune {}", i + 50), i, i + 100));
+        }
+        t.fit(&Domain::new(train));
+        let pos = t.predict(&[pair("melody x", "melody x", 1, 1)])[0];
+        let neg = t.predict(&[pair("melody x", "other thing", 1, 2)])[0];
+        assert!(pos > neg + 0.1, "pos {pos} neg {neg}");
+    }
+}

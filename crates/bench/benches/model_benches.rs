@@ -1,0 +1,106 @@
+//! Criterion benches backing the paper's performance claims (§5.5, Fig. 9
+//! runtime table): AdaMEL trains far faster than the word-level baselines
+//! at matched data and text dimensions.
+
+use adamel::{fit, AdamelConfig, AdamelModel, Variant};
+use adamel_baselines::{BaselineConfig, CorDel, DeepMatcher, EntityMatcher, EntityMatcherModel, Tler};
+use adamel_bench::{MusicExperiment, Scale};
+use adamel_data::{EntityType, MelSplit, Scenario};
+use adamel_schema::Schema;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fixture() -> (Schema, MelSplit) {
+    let scale = Scale::smoke();
+    let exp = MusicExperiment::new(&scale, EntityType::Artist, 42);
+    let split = exp.split(&scale, Scenario::Overlapping, false, 1);
+    (exp.schema(), split)
+}
+
+/// Few-epoch configs so each bench iteration is one comparable unit of
+/// training work.
+fn adamel_cfg() -> AdamelConfig {
+    AdamelConfig { epochs: 3, ..AdamelConfig::default() }
+}
+fn baseline_cfg() -> BaselineConfig {
+    BaselineConfig { epochs: 3, ..BaselineConfig::default() }
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (schema, split) = fixture();
+    let mut group = c.benchmark_group("train_3_epochs");
+    group.sample_size(10);
+
+    group.bench_function("adamel_base", |b| {
+        b.iter(|| {
+            let mut m = AdamelModel::new(adamel_cfg(), schema.clone());
+            fit(&mut m, Variant::Base, &split.train, None, None);
+            black_box(m.num_parameters())
+        })
+    });
+    group.bench_function("adamel_hyb", |b| {
+        b.iter(|| {
+            let mut m = AdamelModel::new(adamel_cfg(), schema.clone());
+            fit(&mut m, Variant::Hyb, &split.train, Some(&split.test), Some(&split.support));
+            black_box(m.num_parameters())
+        })
+    });
+    group.bench_function("tler", |b| {
+        b.iter(|| {
+            let mut m = Tler::new(schema.clone(), baseline_cfg());
+            m.fit(&split.train);
+            black_box(m.num_parameters())
+        })
+    });
+    group.bench_function("deepmatcher", |b| {
+        b.iter(|| {
+            let mut m = DeepMatcher::new(schema.clone(), baseline_cfg());
+            m.fit(&split.train);
+            black_box(m.num_parameters())
+        })
+    });
+    group.bench_function("cordel", |b| {
+        b.iter(|| {
+            let mut m = CorDel::new(schema.clone(), baseline_cfg());
+            m.fit(&split.train);
+            black_box(m.num_parameters())
+        })
+    });
+    group.bench_function("entitymatcher", |b| {
+        b.iter(|| {
+            let mut m = EntityMatcher::new(schema.clone(), baseline_cfg());
+            m.fit(&split.train);
+            black_box(m.num_parameters())
+        })
+    });
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (schema, split) = fixture();
+    let mut group = c.benchmark_group("predict_target_domain");
+    group.sample_size(10);
+
+    let mut adamel = AdamelModel::new(adamel_cfg(), schema.clone());
+    fit(&mut adamel, Variant::Base, &split.train, None, None);
+    group.bench_function("adamel", |b| b.iter(|| black_box(adamel.predict(&split.test.pairs))));
+
+    let mut em = EntityMatcher::new(schema.clone(), baseline_cfg());
+    em.fit(&split.train);
+    group.bench_function("entitymatcher", |b| {
+        b.iter(|| black_box(em.predict(&split.test.pairs)))
+    });
+    group.finish();
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let (schema, split) = fixture();
+    let model = AdamelModel::new(adamel_cfg(), schema);
+    let encoded = model.encode(&split.test.pairs);
+    c.bench_function("attention_forward_target", |b| {
+        b.iter(|| black_box(model.attention_encoded(&encoded)))
+    });
+}
+
+criterion_group!(benches, bench_training, bench_inference, bench_attention);
+criterion_main!(benches);

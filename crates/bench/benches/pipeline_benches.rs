@@ -1,0 +1,102 @@
+//! Criterion benches for the data/text/metrics pipeline stages: world
+//! generation, pair sampling, feature encoding, hashed embeddings, PRAUC,
+//! and t-SNE.
+
+use adamel_bench::{MusicExperiment, Scale};
+use adamel_data::{EntityType, MusicConfig, MusicWorld, PairSampler, Scenario};
+use adamel_metrics::{pr_auc, tsne, TsneConfig};
+use adamel_schema::{FeatureExtractor, FeatureMode};
+use adamel_text::HashedFastText;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_world_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data_generation");
+    group.sample_size(10);
+    group.bench_function("music_world_default", |b| {
+        b.iter(|| black_box(MusicWorld::generate(&MusicConfig::default(), 7).records.len()))
+    });
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let world = MusicWorld::generate(&MusicConfig::default(), 7);
+    let records = world.records_of(EntityType::Artist, None);
+    let mut group = c.benchmark_group("pair_sampling");
+    group.sample_size(10);
+    group.bench_function("index_and_sample_200_pairs", |b| {
+        b.iter(|| {
+            let sampler = PairSampler::new(&records, "name");
+            let mut rng = StdRng::seed_from_u64(1);
+            let pos = sampler.positives(100, |_, _| true, &mut rng);
+            let neg = sampler.negatives(100, 0.5, |_, _| true, &mut rng);
+            black_box(pos.len() + neg.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let exp = MusicExperiment::new(&scale, EntityType::Artist, 42);
+    let split = exp.split(&scale, Scenario::Overlapping, false, 1);
+    let extractor =
+        FeatureExtractor::new(exp.schema(), HashedFastText::new(48, 7), 20, FeatureMode::Both);
+    let mut group = c.benchmark_group("feature_encoding");
+    group.sample_size(10);
+    group.bench_function("encode_train_split", |b| {
+        b.iter(|| black_box(extractor.encode_pairs(&split.train.pairs).len()))
+    });
+    group.finish();
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let ft = HashedFastText::new(300, 7);
+    c.bench_function("hashed_fasttext_token_300d", |b| {
+        b.iter(|| black_box(ft.embed_token("multisource")))
+    });
+    let tokens: Vec<String> =
+        "deep transfer learning for multi source entity linkage via domain adaptation"
+            .split(' ')
+            .map(str::to_owned)
+            .collect();
+    c.bench_function("hashed_fasttext_sentence_300d", |b| {
+        b.iter(|| black_box(ft.embed_tokens(&tokens)))
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let n = 5000;
+    let mut state = 99u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as f32 / (1u64 << 31) as f32
+    };
+    let scores: Vec<f32> = (0..n).map(|_| next()).collect();
+    let labels: Vec<bool> = (0..n).map(|i| i % 7 == 0).collect();
+    c.bench_function("pr_auc_5000", |b| b.iter(|| black_box(pr_auc(&scores, &labels))));
+}
+
+fn bench_tsne(c: &mut Criterion) {
+    let points: Vec<Vec<f32>> = (0..60)
+        .map(|i| (0..18).map(|j| ((i * 31 + j * 7) % 13) as f32 / 13.0).collect())
+        .collect();
+    let cfg = TsneConfig { iterations: 100, perplexity: 10.0, ..Default::default() };
+    let mut group = c.benchmark_group("tsne");
+    group.sample_size(10);
+    group.bench_function("tsne_60x18_100iters", |b| b.iter(|| black_box(tsne(&points, &cfg))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_world_generation,
+    bench_sampling,
+    bench_encoding,
+    bench_embedding,
+    bench_metrics,
+    bench_tsne
+);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! `repro` — regenerates every table and figure of the AdaMEL paper.
+//!
+//! ```text
+//! repro --exp all                 # everything (45-60 min single-core)
+//! repro --exp table9 --runs 1     # one experiment, single run
+//! repro --exp fig8 --scale smoke  # fast smoke scale
+//! repro --list
+//! ```
+//!
+//! CSV artifacts land in `results/` (override with `--out DIR`).
+
+use adamel_bench::experiments::{
+    ablation, adaptation, attention, data_analysis, monitor_comparison, music_comparison,
+    single_domain, stability, support, Ctx,
+};
+use adamel_bench::Scale;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig6-music", "Fig. 6 / Table 9: music MEL comparison (also: table9)"),
+    ("table8", "Table 8: Monitor MEL comparison"),
+    ("fig7", "Fig. 7: t-SNE of attention vectors at lambda 0 vs 0.98"),
+    ("fig8", "Fig. 8: PRAUC vs lambda (zero & hyb)"),
+    ("table4", "Table 4: learned top-5 feature importances"),
+    ("table5", "Table 5: top attributes vs others vs all"),
+    ("table6", "Table 6: contrastive feature ablation"),
+    ("table7", "Table 7: single-domain F1 on benchmark datasets"),
+    ("fig9", "Fig. 9: incremental sources stability + runtime table"),
+    ("fig10", "Fig. 10: support set size sensitivity"),
+    ("fig11", "Fig. 11: per-attribute missing-value analysis"),
+    ("fig12", "Fig. 12: prod_type token distribution shift"),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exp = String::from("all");
+    let mut scale = Scale::standard();
+    let mut out_dir = Some(std::path::PathBuf::from("results"));
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                exp = args.get(i).cloned().unwrap_or_else(|| usage("--exp needs a value"));
+            }
+            "--runs" => {
+                i += 1;
+                scale.runs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--runs needs a positive integer"));
+            }
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("smoke") => Scale::smoke(),
+                    Some("standard") => Scale::standard(),
+                    _ => usage("--scale is 'smoke' or 'standard'"),
+                };
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(std::path::PathBuf::from(
+                    args.get(i).cloned().unwrap_or_else(|| usage("--out needs a path")),
+                ));
+            }
+            "--no-csv" => out_dir = None,
+            "--list" => {
+                for (name, desc) in EXPERIMENTS {
+                    println!("{name:<12} {desc}");
+                }
+                return;
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    let ctx = Ctx::new(scale, out_dir);
+    let t0 = std::time::Instant::now();
+    let run_one = |name: &str, ctx: &Ctx| match name {
+        "fig6-music" | "table9" | "fig6" => {
+            music_comparison::run(ctx);
+        }
+        "table8" => {
+            monitor_comparison::run(ctx);
+        }
+        "fig7" => {
+            adaptation::run_fig7(ctx);
+        }
+        "fig8" => {
+            adaptation::run_fig8(ctx);
+        }
+        "table4" => {
+            attention::run_table4(ctx);
+        }
+        "table5" => {
+            attention::run_table5(ctx);
+        }
+        "table6" => {
+            ablation::run(ctx);
+        }
+        "table7" => {
+            single_domain::run(ctx);
+        }
+        "fig9" => {
+            stability::run(ctx);
+        }
+        "fig10" => {
+            support::run(ctx);
+        }
+        "fig11" => {
+            data_analysis::run_fig11(ctx);
+        }
+        "fig12" => {
+            data_analysis::run_fig12(ctx);
+        }
+        other => usage(&format!("unknown experiment {other}; use --list")),
+    };
+
+    if exp == "all" {
+        for (name, _) in EXPERIMENTS {
+            println!("\n================ {name} ================");
+            let t = std::time::Instant::now();
+            run_one(name, &ctx);
+            println!("[{name} done in {:.1}s]", t.elapsed().as_secs_f64());
+        }
+    } else {
+        run_one(&exp, &ctx);
+    }
+    println!("\nTotal: {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: repro [--exp NAME|all] [--runs N] [--scale smoke|standard] [--out DIR] [--no-csv] [--list]");
+    std::process::exit(2);
+}

@@ -1,0 +1,102 @@
+//! Fig. 7 (attention-space t-SNE at λ = 0 vs λ = 0.98) and Fig. 8
+//! (PRAUC as a function of λ, with the collapse at λ = 1).
+
+use super::Ctx;
+use crate::table;
+use crate::worlds::MusicExperiment;
+use adamel::{evaluate_prauc, fit, AdamelConfig, AdamelModel, Variant};
+use adamel_data::{EntityType, Scenario};
+use adamel_metrics::{separation_ratio, tsne, TsneConfig};
+
+/// Fig. 7: trains zero/hyb at λ ∈ {0, 0.98}, projects the per-pair
+/// attention vectors of `D_S` and `D_T` with t-SNE, and reports the
+/// separation ratio (≈1 means the domains are indistinguishable — adapted).
+pub fn run_fig7(ctx: &Ctx) -> Vec<(String, f64)> {
+    let exp = MusicExperiment::new(&ctx.scale, EntityType::Artist, 42);
+    let schema = exp.schema();
+    let split = exp.split(&ctx.scale, Scenario::Overlapping, false, 1);
+    let mut results = Vec::new();
+    let mut rows = Vec::new();
+    let mut csv = String::from("variant,lambda,domain,x,y\n");
+
+    for variant in [Variant::Zero, Variant::Hyb] {
+        for lambda in [0.0f32, 0.98] {
+            let cfg = AdamelConfig::default().with_lambda(lambda).with_seed(1);
+            let mut model = AdamelModel::new(cfg, schema.clone());
+            fit(
+                &mut model,
+                variant,
+                &split.train,
+                Some(&split.test),
+                variant.uses_support().then_some(&split.support),
+            );
+            // Attention vectors of both domains, subsampled for t-SNE.
+            let take = 80.min(split.train.len()).min(split.test.len());
+            let att_s = model.attention(&split.train.pairs[..take]);
+            let att_t = model.attention(&split.test.pairs[..take]);
+            let mut points: Vec<Vec<f32>> = Vec::with_capacity(2 * take);
+            for i in 0..take {
+                points.push(att_s.row(i).to_vec());
+            }
+            for i in 0..take {
+                points.push(att_t.row(i).to_vec());
+            }
+            let emb = tsne(&points, &TsneConfig { perplexity: 20.0, iterations: 250, ..Default::default() });
+            let (s_pts, t_pts) = emb.split_at(take);
+            let ratio = separation_ratio(s_pts, t_pts);
+            let name = format!("{} λ={lambda}", variant.name());
+            rows.push(vec![name.clone(), format!("{ratio:.3}")]);
+            for (i, p) in emb.iter().enumerate() {
+                let domain = if i < take { "source" } else { "target" };
+                csv.push_str(&format!("{},{},{},{:.4},{:.4}\n", variant.name(), lambda, domain, p[0], p[1]));
+            }
+            results.push((name, ratio));
+        }
+    }
+    println!("\n--- Fig. 7: t-SNE separation of D_S vs D_T attention (lower = better aligned) ---");
+    println!("{}", table::render(&["Configuration", "Separation ratio"], &rows));
+    println!("(paper: λ=0.98 aligns the domains; λ=0 leaves them separable)");
+    ctx.write_csv("fig7_tsne.csv", &csv);
+    results
+}
+
+/// Fig. 8: PRAUC vs λ for zero/hyb on artist and album, including the λ = 1
+/// collapse.
+pub fn run_fig8(ctx: &Ctx) -> Vec<(String, f32, f64)> {
+    let lambdas = [0.0f32, 0.2, 0.4, 0.6, 0.8, 0.9, 0.98, 1.0];
+    let mut out = Vec::new();
+    let mut csv = String::from("entity_type,variant,lambda,prauc\n");
+
+    for etype in [EntityType::Artist, EntityType::Album] {
+        let exp = MusicExperiment::new(&ctx.scale, etype, 42);
+        let schema = exp.schema();
+        let split = exp.split(&ctx.scale, Scenario::Overlapping, false, 1);
+        println!("\n--- Fig. 8: PRAUC vs λ (Music-3K, {}) ---", etype.name());
+        let mut rows = Vec::new();
+        for variant in [Variant::Zero, Variant::Hyb] {
+            for &lambda in &lambdas {
+                let cfg = AdamelConfig::default().with_lambda(lambda).with_seed(1);
+                let mut model = AdamelModel::new(cfg, schema.clone());
+                fit(
+                    &mut model,
+                    variant,
+                    &split.train,
+                    Some(&split.test),
+                    variant.uses_support().then_some(&split.support),
+                );
+                let prauc = evaluate_prauc(&model, &split.test);
+                rows.push(vec![
+                    variant.name().to_string(),
+                    format!("{lambda:.2}"),
+                    format!("{prauc:.4}"),
+                ]);
+                csv.push_str(&format!("{},{},{},{:.4}\n", etype.name(), variant.name(), lambda, prauc));
+                out.push((format!("{} {}", etype.name(), variant.name()), lambda, prauc));
+            }
+        }
+        println!("{}", table::render(&["Variant", "lambda", "PRAUC"], &rows));
+    }
+    println!("(paper: PRAUC rises toward λ=0.98, then collapses at λ=1 — no supervision left)");
+    ctx.write_csv("fig8_lambda.csv", &csv);
+    out
+}

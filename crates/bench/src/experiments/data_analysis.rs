@@ -1,0 +1,88 @@
+//! Fig. 11 (per-attribute non-missing pair percentages, source vs target)
+//! and Fig. 12 (top-10 `prod_type` token frequencies, source vs target) on
+//! the Monitor corpus — the appendix A.2 data-challenge analysis.
+
+use super::Ctx;
+use crate::table;
+use crate::worlds::MonitorExperiment;
+use adamel_data::analysis;
+use adamel_data::{make_mel_split, Scenario, SplitCounts};
+
+/// Runs Fig. 11, returning `(attribute, source fraction, target fraction)`.
+pub fn run_fig11(ctx: &Ctx) -> Vec<(String, f64, f64)> {
+    let exp = MonitorExperiment::new(&ctx.scale, 42);
+    let schema = exp.schema();
+    let records = exp.world.records_for(None);
+    let split = make_mel_split(
+        &records,
+        "page_title",
+        &exp.world.seen_sources(),
+        &exp.world.unseen_sources(),
+        Scenario::Overlapping,
+        &SplitCounts::default(),
+        1,
+    );
+    let src = analysis::non_missing_pair_fraction(&split.train, &schema);
+    let tgt = analysis::non_missing_pair_fraction(&split.test, &schema);
+
+    println!("\n--- Fig. 11: % of pairs without missing values per attribute (Monitor) ---");
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    let mut csv = String::from("attribute,source_fraction,target_fraction\n");
+    for ((attr, s), (_, t)) in src.iter().zip(&tgt) {
+        rows.push(vec![attr.clone(), format!("{:.1}%", s * 100.0), format!("{:.1}%", t * 100.0)]);
+        csv.push_str(&format!("{attr},{s:.4},{t:.4}\n"));
+        out.push((attr.clone(), *s, *t));
+    }
+    println!("{}", table::render(&["Attribute", "Source domain", "Target domain"], &rows));
+    let target_only = analysis::target_only_attributes(&split.train, &split.test, &schema);
+    println!(
+        "Attributes complete only in the target domain (C2): {} — {:?}",
+        target_only.len(),
+        target_only
+    );
+    println!("(paper: only page_title/source near-complete; 5 of 13 attributes target-only)");
+    ctx.write_csv("fig11_missing.csv", &csv);
+    out
+}
+
+/// Runs Fig. 12, returning the source and target top-10 token lists.
+#[allow(clippy::type_complexity)]
+pub fn run_fig12(ctx: &Ctx) -> (Vec<(String, usize)>, Vec<(String, usize)>) {
+    let exp = MonitorExperiment::new(&ctx.scale, 42);
+    let records = exp.world.records_for(None);
+    let split = make_mel_split(
+        &records,
+        "page_title",
+        &exp.world.seen_sources(),
+        &exp.world.unseen_sources(),
+        Scenario::Disjoint,
+        &SplitCounts::default(),
+        1,
+    );
+    let src = analysis::top_tokens(&split.train, "prod_type", 10);
+    let tgt = analysis::top_tokens(&split.test, "prod_type", 10);
+
+    println!("\n--- Fig. 12: top-10 `prod_type` tokens, source vs target (Monitor) ---");
+    let rows: Vec<Vec<String>> = (0..10)
+        .map(|i| {
+            vec![
+                src.get(i).map(|(t, c)| format!("{t} ({c})")).unwrap_or_default(),
+                tgt.get(i).map(|(t, c)| format!("{t} ({c})")).unwrap_or_default(),
+            ]
+        })
+        .collect();
+    println!("{}", table::render(&["Source domain", "Target domain"], &rows));
+    let src_set: std::collections::HashSet<&str> = src.iter().map(|(t, _)| t.as_str()).collect();
+    let overlap = tgt.iter().filter(|(t, _)| src_set.contains(t.as_str())).count();
+    println!("Token overlap between domains' top-10: {overlap}/10 (paper: nearly disjoint)");
+    let mut csv = String::from("domain,token,count\n");
+    for (t, c) in &src {
+        csv.push_str(&format!("source,{t},{c}\n"));
+    }
+    for (t, c) in &tgt {
+        csv.push_str(&format!("target,{t},{c}\n"));
+    }
+    ctx.write_csv("fig12_prod_type.csv", &csv);
+    (src, tgt)
+}

@@ -1,0 +1,43 @@
+//! One module per table/figure of the paper (see DESIGN.md §4 for the
+//! experiment index).
+
+pub mod ablation;
+pub mod adaptation;
+pub mod attention;
+pub mod data_analysis;
+pub mod monitor_comparison;
+pub mod music_comparison;
+pub mod single_domain;
+pub mod stability;
+pub mod support;
+
+use crate::worlds::Scale;
+
+/// Shared experiment context: scale plus an output sink.
+pub struct Ctx {
+    /// Global size knobs.
+    pub scale: Scale,
+    /// Directory for CSV artifacts (created on demand); stdout-only if None.
+    pub out_dir: Option<std::path::PathBuf>,
+}
+
+impl Ctx {
+    /// Creates a context at the given scale writing CSVs under `out_dir`.
+    pub fn new(scale: Scale, out_dir: Option<std::path::PathBuf>) -> Self {
+        Self { scale, out_dir }
+    }
+
+    /// Writes a CSV artifact if an output directory is configured.
+    pub fn write_csv(&self, name: &str, content: &str) {
+        if let Some(dir) = &self.out_dir {
+            if std::fs::create_dir_all(dir).is_ok() {
+                let path = dir.join(name);
+                if let Err(e) = std::fs::write(&path, content) {
+                    eprintln!("warning: failed to write {}: {e}", path.display());
+                } else {
+                    println!("  [csv] {}", path.display());
+                }
+            }
+        }
+    }
+}

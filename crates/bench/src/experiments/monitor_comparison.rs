@@ -1,0 +1,67 @@
+//! Table 8: MEL performance (PRAUC) on the Monitor corpus, overlapping and
+//! disjoint scenarios, all nine methods.
+
+use super::Ctx;
+use crate::methods::{run_method, Method, Metric};
+use crate::table;
+use crate::worlds::MonitorExperiment;
+use adamel::AdamelConfig;
+use adamel_baselines::BaselineConfig;
+use adamel_data::Scenario;
+use adamel_metrics::RunStats;
+
+/// One Table 8 cell.
+pub struct Cell {
+    /// Scenario.
+    pub scenario: Scenario,
+    /// Method.
+    pub method: Method,
+    /// PRAUC over runs.
+    pub stats: RunStats,
+}
+
+/// Runs Table 8 and returns the cells.
+pub fn run(ctx: &Ctx) -> Vec<Cell> {
+    let exp = MonitorExperiment::new(&ctx.scale, 42);
+    let schema = exp.schema();
+    let mut cells = Vec::new();
+
+    for scenario in [Scenario::Overlapping, Scenario::Disjoint] {
+        println!("\n--- Table 8: Monitor / {} ---", scenario.name());
+        let mut rows = Vec::new();
+        for method in Method::ALL {
+            let scores: Vec<f64> = (1..=ctx.scale.runs as u64)
+                .map(|seed| {
+                    let split = exp.split(&ctx.scale, scenario, seed);
+                    run_method(
+                        method,
+                        &schema,
+                        &split,
+                        Metric::PrAuc,
+                        &AdamelConfig::default(),
+                        &BaselineConfig::default(),
+                        seed,
+                    )
+                    .score
+                })
+                .collect();
+            let stats = RunStats::from_runs(&scores);
+            rows.push(vec![method.name().to_string(), stats.to_string()]);
+            cells.push(Cell { scenario, method, stats });
+        }
+        println!("{}", table::render(&["Method", "PRAUC"], &rows));
+    }
+
+    let mut csv = String::from("scenario,method,prauc_mean,prauc_std\n");
+    for c in &cells {
+        csv.push_str(&format!(
+            "{},{},{:.4},{:.4}\n",
+            c.scenario.name(),
+            c.method.name(),
+            c.stats.mean,
+            c.stats.std
+        ));
+    }
+    ctx.write_csv("table8_monitor.csv", &csv);
+    cells
+}

@@ -1,0 +1,149 @@
+//! Fig. 6 / Table 9: MEL performance (PRAUC) on the music corpora.
+//!
+//! Grid: {Music-3K: artist, album, track; Music-1M: artist, album}
+//! x {overlapping, disjoint} x 9 methods, mean ± std over seeded runs.
+//! Music-1M uses the larger weakly-labeled training set and, as in the
+//! paper, shares its test protocol with Music-3K.
+
+use super::Ctx;
+use crate::methods::{run_method, Method, Metric};
+use crate::table;
+use crate::worlds::MusicExperiment;
+use adamel::AdamelConfig;
+use adamel_baselines::BaselineConfig;
+use adamel_data::{EntityType, Scenario};
+use adamel_metrics::RunStats;
+
+/// One grid cell result.
+pub struct Cell {
+    /// Corpus ("Music-3K" / "Music-1M").
+    pub corpus: &'static str,
+    /// Entity type.
+    pub etype: EntityType,
+    /// Scenario.
+    pub scenario: Scenario,
+    /// Method.
+    pub method: Method,
+    /// PRAUC over runs.
+    pub stats: RunStats,
+}
+
+/// Runs the full music grid, printing Table 9 and returning the cells.
+pub fn run(ctx: &Ctx) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    let combos: Vec<(&'static str, EntityType, bool)> = vec![
+        ("Music-3K", EntityType::Artist, false),
+        ("Music-3K", EntityType::Album, false),
+        ("Music-3K", EntityType::Track, false),
+        ("Music-1M", EntityType::Artist, true),
+        ("Music-1M", EntityType::Album, true),
+    ];
+
+    for scenario in [Scenario::Overlapping, Scenario::Disjoint] {
+        for (corpus, etype, weak) in &combos {
+            let exp = MusicExperiment::new(&ctx.scale, *etype, 42);
+            let schema = exp.schema();
+            println!(
+                "\n--- Table 9 cell: {corpus} {} / {} ---",
+                etype.name(),
+                scenario.name()
+            );
+            let mut rows = Vec::new();
+            for method in Method::ALL {
+                let scores: Vec<f64> = (1..=ctx.scale.runs as u64)
+                    .map(|seed| {
+                        let split = exp.split(&ctx.scale, scenario, *weak, seed);
+                        run_method(
+                            method,
+                            &schema,
+                            &split,
+                            Metric::PrAuc,
+                            &AdamelConfig::default(),
+                            &BaselineConfig::default(),
+                            seed,
+                        )
+                        .score
+                    })
+                    .collect();
+                let stats = RunStats::from_runs(&scores);
+                rows.push(vec![method.name().to_string(), stats.to_string()]);
+                cells.push(Cell { corpus, etype: *etype, scenario, method, stats });
+            }
+            println!("{}", table::render(&["Method", "PRAUC"], &rows));
+        }
+    }
+
+    // CSV artifact mirroring Table 9's layout.
+    let mut csv = String::from("corpus,entity_type,scenario,method,prauc_mean,prauc_std\n");
+    for c in &cells {
+        csv.push_str(&format!(
+            "{},{},{},{},{:.4},{:.4}\n",
+            c.corpus,
+            c.etype.name(),
+            c.scenario.name(),
+            c.method.name(),
+            c.stats.mean,
+            c.stats.std
+        ));
+    }
+    ctx.write_csv("table9_music.csv", &csv);
+    summarize(&cells);
+    cells
+}
+
+/// Prints the paper's headline aggregates (hyb vs best baseline).
+fn summarize(cells: &[Cell]) {
+    let mut improvements = Vec::new();
+    let groups: Vec<(&str, EntityType, Scenario)> = cells
+        .iter()
+        .map(|c| (c.corpus, c.etype, c.scenario))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    for (corpus, etype, scenario) in groups {
+        let group: Vec<&Cell> = cells
+            .iter()
+            .filter(|c| c.corpus == corpus && c.etype == etype && c.scenario == scenario)
+            .collect();
+        let hyb = group.iter().find(|c| c.method == Method::AdamelHyb).map(|c| c.stats.mean);
+        let best_baseline = group
+            .iter()
+            .filter(|c| c.method.variant().is_none())
+            .map(|c| c.stats.mean)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if let Some(hyb) = hyb {
+            improvements.push((hyb - best_baseline) * 100.0);
+        }
+    }
+    if !improvements.is_empty() {
+        let avg = improvements.iter().sum::<f64>() / improvements.len() as f64;
+        println!(
+            "AdaMEL-hyb vs best supervised baseline: avg {avg:+.2} PRAUC points over {} cells \
+             (paper: +8.21% on average)",
+            improvements.len()
+        );
+    }
+}
+
+/// Sort order helper so `BTreeSet` can group cells.
+impl PartialOrd for Cell {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Cell {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.corpus, self.etype.name(), self.scenario.name(), self.method.name()).cmp(&(
+            other.corpus,
+            other.etype.name(),
+            other.scenario.name(),
+            other.method.name(),
+        ))
+    }
+}
+impl PartialEq for Cell {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Cell {}

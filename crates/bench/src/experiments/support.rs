@@ -1,0 +1,110 @@
+//! Fig. 10: sensitivity to the support-set size |S_U| for AdaMEL-few and
+//! AdaMEL-hyb on Monitor.
+
+use super::Ctx;
+use crate::table;
+use crate::worlds::MonitorExperiment;
+use adamel::{evaluate_prauc, fit, AdamelConfig, AdamelModel, Variant};
+use adamel_data::{make_mel_split, Scenario, SplitCounts};
+use adamel_schema::Domain;
+
+/// One sweep point.
+pub struct Point {
+    /// Support-set size used.
+    pub size: usize,
+    /// AdaMEL-few PRAUC.
+    pub few: f64,
+    /// AdaMEL-hyb PRAUC.
+    pub hyb: f64,
+}
+
+/// The paper's sweep: zoomed-in small sizes, then steps of 20 up to 300.
+pub fn sweep_sizes(max: usize) -> Vec<usize> {
+    let mut sizes = vec![1, 5, 10, 20, 40];
+    let mut v = 60;
+    while v <= max {
+        sizes.push(v);
+        v += 40; // coarser than the paper's 20 to halve runtime; same range
+    }
+    sizes
+}
+
+/// Runs Fig. 10.
+pub fn run(ctx: &Ctx) -> Vec<Point> {
+    let exp = MonitorExperiment::new(&ctx.scale, 42);
+    let schema = exp.schema();
+    // A split with an oversized support pool (300 labeled samples).
+    let counts = SplitCounts {
+        train_pos: ctx.scale.train_pairs_per_class,
+        train_neg: ctx.scale.train_pairs_per_class,
+        support_pos: 150,
+        support_neg: 150,
+        test_pos: ctx.scale.test_pairs_per_class,
+        test_neg: ctx.scale.test_pairs_per_class * 3,
+        hard_negative_fraction: 0.6,
+    };
+    let records = exp.world.records_for(None);
+    let split = make_mel_split(
+        &records,
+        "page_title",
+        &exp.world.seen_sources(),
+        &exp.world.unseen_sources(),
+        Scenario::Overlapping,
+        &counts,
+        1,
+    );
+    let pool = &split.support;
+    let max = pool.len();
+
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+    let mut csv = String::from("support_size,adamel_few,adamel_hyb\n");
+    for size in sweep_sizes(max.min(300)) {
+        // Interleave positives/negatives so tiny supports stay balanced-ish.
+        let indices: Vec<usize> = interleaved_indices(pool, size);
+        let support = pool.subset(&indices);
+        let mut scores = [0.0f64; 2];
+        for (i, variant) in [Variant::Few, Variant::Hyb].into_iter().enumerate() {
+            let cfg = AdamelConfig::default().with_seed(1);
+            let mut model = AdamelModel::new(cfg, schema.clone());
+            fit(
+                &mut model,
+                variant,
+                &split.train,
+                variant.uses_target().then_some(&split.test),
+                Some(&support),
+            );
+            scores[i] = evaluate_prauc(&model, &split.test);
+        }
+        rows.push(vec![size.to_string(), format!("{:.4}", scores[0]), format!("{:.4}", scores[1])]);
+        csv.push_str(&format!("{},{:.4},{:.4}\n", size, scores[0], scores[1]));
+        points.push(Point { size, few: scores[0], hyb: scores[1] });
+    }
+
+    println!("\n--- Fig. 10: PRAUC vs support-set size |S_U| (Monitor) ---");
+    println!("{}", table::render(&["|S_U|", "AdaMEL-few", "AdaMEL-hyb"], &rows));
+    println!("(paper: rises with |S_U|, saturates past ~140; hyb >= few beyond |S_U| > 60)");
+    ctx.write_csv("fig10_support.csv", &csv);
+    points
+}
+
+fn interleaved_indices(pool: &Domain, size: usize) -> Vec<usize> {
+    let pos: Vec<usize> =
+        (0..pool.len()).filter(|&i| pool.pairs[i].label == Some(true)).collect();
+    let neg: Vec<usize> =
+        (0..pool.len()).filter(|&i| pool.pairs[i].label == Some(false)).collect();
+    let mut out = Vec::with_capacity(size);
+    let mut pi = 0;
+    let mut ni = 0;
+    while out.len() < size && (pi < pos.len() || ni < neg.len()) {
+        if pi < pos.len() {
+            out.push(pos[pi]);
+            pi += 1;
+        }
+        if out.len() < size && ni < neg.len() {
+            out.push(neg[ni]);
+            ni += 1;
+        }
+    }
+    out
+}

@@ -1,0 +1,15 @@
+//! # adamel-bench
+//!
+//! The reproduction harness: experiment-scale worlds, the uniform method
+//! roster, and one module per table/figure of the paper. The `repro` binary
+//! (`cargo run -p adamel-bench --bin repro --release -- --exp all`)
+//! regenerates every artifact; the criterion benches cover the performance
+//! claims.
+
+pub mod experiments;
+pub mod methods;
+pub mod table;
+pub mod worlds;
+
+pub use methods::{run_method, Method, Metric, RunOutcome};
+pub use worlds::{MonitorExperiment, MusicExperiment, Scale};

@@ -1,0 +1,142 @@
+//! The uniform method roster used by every comparison experiment.
+
+use adamel::{evaluate_f1, evaluate_prauc, fit, AdamelConfig, AdamelModel, Variant};
+use adamel_baselines as baselines;
+use adamel_baselines::{BaselineConfig, EntityMatcherModel};
+use adamel_data::MelSplit;
+use adamel_schema::Schema;
+
+/// Every method of Fig. 6 / Tables 8–9, in reporting order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// TLER (non-deep transfer ER).
+    Tler,
+    /// DeepMatcher-hybrid.
+    DeepMatcher,
+    /// EntityMatcher (hierarchical).
+    EntityMatcher,
+    /// Ditto (LM-based).
+    Ditto,
+    /// CorDel-Attention.
+    CorDel,
+    /// AdaMEL-base (no adaptation).
+    AdamelBase,
+    /// AdaMEL-zero (unsupervised DA).
+    AdamelZero,
+    /// AdaMEL-few (support set).
+    AdamelFew,
+    /// AdaMEL-hyb (both).
+    AdamelHyb,
+}
+
+impl Method {
+    /// The full roster in the paper's table order.
+    pub const ALL: [Method; 9] = [
+        Method::Tler,
+        Method::DeepMatcher,
+        Method::EntityMatcher,
+        Method::Ditto,
+        Method::CorDel,
+        Method::AdamelBase,
+        Method::AdamelZero,
+        Method::AdamelFew,
+        Method::AdamelHyb,
+    ];
+
+    /// Reporting name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Tler => "TLER",
+            Method::DeepMatcher => "DeepMatcher",
+            Method::EntityMatcher => "EntityMatcher",
+            Method::Ditto => "Ditto",
+            Method::CorDel => "CorDel-Attention",
+            Method::AdamelBase => "AdaMEL-base",
+            Method::AdamelZero => "AdaMEL-zero",
+            Method::AdamelFew => "AdaMEL-few",
+            Method::AdamelHyb => "AdaMEL-hyb",
+        }
+    }
+
+    /// The AdaMEL variant, if this method is one.
+    pub fn variant(self) -> Option<Variant> {
+        match self {
+            Method::AdamelBase => Some(Variant::Base),
+            Method::AdamelZero => Some(Variant::Zero),
+            Method::AdamelFew => Some(Variant::Few),
+            Method::AdamelHyb => Some(Variant::Hyb),
+            _ => None,
+        }
+    }
+}
+
+/// Which score to report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Average-precision PRAUC (Fig. 6, Tables 8–9).
+    PrAuc,
+    /// Best-threshold F1 (Table 7).
+    F1,
+}
+
+/// Outcome of one (method, split, seed) run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The reported score.
+    pub score: f64,
+    /// Wall-clock training + inference seconds.
+    pub runtime_secs: f64,
+    /// Scalar parameter count of the trained model.
+    pub num_parameters: usize,
+}
+
+/// Trains `method` on a MEL split and scores it on the test domain.
+///
+/// `lambda`/`phi` override the AdaMEL adaptation weights (pass the paper's
+/// 0.98 / 1.0 defaults via [`AdamelConfig`] when unset); `feature_mode`
+/// supports the Table 6 ablation.
+pub fn run_method(
+    method: Method,
+    schema: &Schema,
+    split: &MelSplit,
+    metric: Metric,
+    adamel_cfg: &AdamelConfig,
+    baseline_cfg: &BaselineConfig,
+    seed: u64,
+) -> RunOutcome {
+    let start = std::time::Instant::now();
+    let (score, num_parameters) = match method.variant() {
+        Some(variant) => {
+            let cfg = adamel_cfg.clone().with_seed(seed);
+            let mut model = AdamelModel::new(cfg, schema.clone());
+            let target = variant.uses_target().then_some(&split.test);
+            let support = variant.uses_support().then_some(&split.support);
+            fit(&mut model, variant, &split.train, target, support);
+            let score = match metric {
+                Metric::PrAuc => evaluate_prauc(&model, &split.test),
+                Metric::F1 => evaluate_f1(&model, &split.test),
+            };
+            (score, model.num_parameters())
+        }
+        None => {
+            let cfg = BaselineConfig { seed, ..baseline_cfg.clone() };
+            let mut model: Box<dyn EntityMatcherModel> = match method {
+                Method::Tler => Box::new(baselines::Tler::new(schema.clone(), cfg)),
+                Method::DeepMatcher => Box::new(baselines::DeepMatcher::new(schema.clone(), cfg)),
+                Method::EntityMatcher => {
+                    Box::new(baselines::EntityMatcher::new(schema.clone(), cfg))
+                }
+                Method::Ditto => Box::new(baselines::Ditto::new(schema.clone(), cfg)),
+                Method::CorDel => Box::new(baselines::CorDel::new(schema.clone(), cfg)),
+                _ => unreachable!("variant methods handled above"),
+            };
+            model.fit(&split.train);
+            let score = match metric {
+                Metric::PrAuc => baselines::evaluate_prauc(model.as_ref(), &split.test),
+                Metric::F1 => baselines::evaluate_f1(model.as_ref(), &split.test),
+            };
+            (score, model.num_parameters())
+        }
+    };
+    RunOutcome { score, runtime_secs: start.elapsed().as_secs_f64(), num_parameters }
+}

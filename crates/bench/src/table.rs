@@ -1,0 +1,55 @@
+//! Plain-text table rendering for experiment reports.
+
+/// Renders rows as an aligned ASCII table with a header rule.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let mut out = fmt_row(&header);
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(
+            &["Method", "PRAUC"],
+            &[
+                vec!["AdaMEL-hyb".into(), "0.92".into()],
+                vec!["TLER".into(), "0.64".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Method"));
+        assert!(lines[2].starts_with("AdaMEL-hyb"));
+        // Columns align: "0.92" and "0.64" start at the same offset.
+        let c1 = lines[2].find("0.92").unwrap();
+        let c2 = lines[3].find("0.64").unwrap();
+        assert_eq!(c1, c2);
+    }
+}

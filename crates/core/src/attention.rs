@@ -1,0 +1,104 @@
+//! Attention analysis: aggregating feature importance to attribute level
+//! (Table 4) and selecting top attributes (Table 5).
+
+use crate::model::AdamelModel;
+use adamel_schema::{Domain, Schema};
+use std::collections::BTreeMap;
+
+/// Importance of one relational feature (e.g. `page_title_shared`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureImportance {
+    /// Feature name (`<attribute>_shared` / `<attribute>_unique`).
+    pub feature: String,
+    /// Mean attention score over the analyzed pairs.
+    pub score: f32,
+}
+
+/// Mean attention per feature over a domain, sorted descending — the data
+/// behind Table 4.
+pub fn feature_importance(model: &AdamelModel, domain: &Domain) -> Vec<FeatureImportance> {
+    model
+        .feature_importance(&domain.pairs)
+        .into_iter()
+        .map(|(feature, score)| FeatureImportance { feature, score })
+        .collect()
+}
+
+/// Importance aggregated to the attribute level (summing the attribute's
+/// shared and unique features), sorted descending.
+pub fn attribute_importance(model: &AdamelModel, domain: &Domain) -> Vec<(String, f32)> {
+    let mut by_attr: BTreeMap<String, f32> = BTreeMap::new();
+    for imp in feature_importance(model, domain) {
+        let attr = imp
+            .feature
+            .strip_suffix("_shared")
+            .or_else(|| imp.feature.strip_suffix("_unique"))
+            .unwrap_or(&imp.feature)
+            .to_string();
+        *by_attr.entry(attr).or_insert(0.0) += imp.score;
+    }
+    let mut out: Vec<(String, f32)> = by_attr.into_iter().collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+/// The `k` most important attributes as a projected schema plus the
+/// complementary schema — the two retraining columns of Table 5.
+pub fn top_attribute_schemas(
+    model: &AdamelModel,
+    domain: &Domain,
+    schema: &Schema,
+    k: usize,
+) -> (Schema, Schema) {
+    let ranked = attribute_importance(model, domain);
+    let top: Vec<&str> = ranked.iter().take(k).map(|(a, _)| a.as_str()).collect();
+    (schema.project(&top), schema.without(&top))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AdamelConfig;
+    use adamel_schema::{EntityPair, Record, SourceId};
+
+    fn fixture() -> (AdamelModel, Domain, Schema) {
+        let schema = Schema::new(vec!["artist".into(), "title".into(), "genre".into()]);
+        let model = AdamelModel::new(AdamelConfig::tiny(), schema.clone());
+        let mut l = Record::new(SourceId(0), 1);
+        l.set("title", "hey jude").set("artist", "beatles").set("genre", "rock");
+        let mut r = Record::new(SourceId(1), 1);
+        r.set("title", "hey jude").set("artist", "the beatles");
+        let domain = Domain::new(vec![EntityPair::unlabeled(l, r)]);
+        (model, domain, schema)
+    }
+
+    #[test]
+    fn attribute_importance_sums_to_one() {
+        let (model, domain, _) = fixture();
+        let imp = attribute_importance(&model, &domain);
+        assert_eq!(imp.len(), 3);
+        let total: f32 = imp.iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn top_schemas_partition() {
+        let (model, domain, schema) = fixture();
+        let (top, rest) = top_attribute_schemas(&model, &domain, &schema, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(rest.len(), 1);
+        for a in top.attributes() {
+            assert!(!rest.attributes().contains(a));
+        }
+    }
+
+    #[test]
+    fn feature_importance_sorted() {
+        let (model, domain, _) = fixture();
+        let imp = feature_importance(&model, &domain);
+        assert_eq!(imp.len(), 6);
+        for w in imp.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Model configuration and the four AdaMEL variants.
+
+use adamel_schema::FeatureMode;
+
+/// Which AdaMEL variant to train (paper §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Supervised on `D_S` only (Fig. 4).
+    Base,
+    /// Unsupervised domain adaptation via the KL term, Algorithm 1.
+    Zero,
+    /// Semi-supervised with the labeled support set, Algorithm 2.
+    Few,
+    /// Both adaptation terms, Algorithm 3.
+    Hyb,
+}
+
+impl Variant {
+    /// All variants in the paper's reporting order.
+    pub const ALL: [Variant; 4] = [Variant::Base, Variant::Zero, Variant::Few, Variant::Hyb];
+
+    /// Reporting name ("AdaMEL-base", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Base => "AdaMEL-base",
+            Variant::Zero => "AdaMEL-zero",
+            Variant::Few => "AdaMEL-few",
+            Variant::Hyb => "AdaMEL-hyb",
+        }
+    }
+
+    /// Whether training uses the unlabeled target domain.
+    pub fn uses_target(self) -> bool {
+        matches!(self, Variant::Zero | Variant::Hyb)
+    }
+
+    /// Whether training uses the labeled support set.
+    pub fn uses_support(self) -> bool {
+        matches!(self, Variant::Few | Variant::Hyb)
+    }
+}
+
+/// Hyperparameters of the AdaMEL model (paper §5.1 "Configuration").
+#[derive(Debug, Clone)]
+pub struct AdamelConfig {
+    /// Token embedding dimensionality `D` (paper: 300-d FastText).
+    pub embed_dim: usize,
+    /// Projected per-feature dimensionality `H` (paper: 64).
+    pub feature_dim: usize,
+    /// Attention hidden dimensionality `H'` (paper: 256).
+    pub attention_dim: usize,
+    /// Classifier hidden dimensionality `H_hidden` (paper: 256).
+    pub hidden_dim: usize,
+    /// Token cropping size (paper: 20).
+    pub crop: usize,
+    /// Adam learning rate (paper: 1e-4).
+    pub learning_rate: f32,
+    /// Training epochs (paper: 100).
+    pub epochs: usize,
+    /// Mini-batch size (paper: 16).
+    pub batch_size: usize,
+    /// Adaptation weight λ in Eq. 9/14 (paper default: 0.98).
+    pub lambda: f32,
+    /// Support weight φ in Eq. 13/14 (paper default: 1.0).
+    pub phi: f32,
+    /// Contrastive feature mode (Table 6 ablation; default Both).
+    pub feature_mode: FeatureMode,
+    /// Seed for embedding hashing, initialization, and batching.
+    pub seed: u64,
+    /// Ablation: replace the learned attention distribution with a uniform
+    /// `1/F` vector, disabling the paper's central mechanism (the attention
+    /// parameters still exist but receive no gradient through `f`).
+    pub uniform_attention: bool,
+    /// Optional global gradient-norm clip.
+    pub grad_clip: Option<f32>,
+}
+
+impl Default for AdamelConfig {
+    /// A compact configuration that trains in well under a second on the
+    /// test corpora while preserving the paper's architecture; use
+    /// [`AdamelConfig::paper`] for the full-size settings.
+    fn default() -> Self {
+        Self {
+            embed_dim: 48,
+            feature_dim: 24,
+            attention_dim: 48,
+            hidden_dim: 48,
+            crop: 20,
+            learning_rate: 1e-3,
+            epochs: 40,
+            batch_size: 16,
+            lambda: 0.98,
+            phi: 1.0,
+            feature_mode: FeatureMode::Both,
+            seed: 7,
+            grad_clip: Some(5.0),
+            uniform_attention: false,
+        }
+    }
+}
+
+impl AdamelConfig {
+    /// The paper's §5.1 configuration (300-d embeddings, H=64, H'=256,
+    /// H_hidden=256, lr=1e-4, 100 epochs, batch 16, λ=0.98, φ=1.0).
+    pub fn paper() -> Self {
+        Self {
+            embed_dim: 300,
+            feature_dim: 64,
+            attention_dim: 256,
+            hidden_dim: 256,
+            learning_rate: 1e-4,
+            epochs: 100,
+            ..Self::default()
+        }
+    }
+
+    /// A minimal configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            embed_dim: 24,
+            feature_dim: 12,
+            attention_dim: 16,
+            hidden_dim: 16,
+            epochs: 80,
+            learning_rate: 3e-3,
+            ..Self::default()
+        }
+    }
+
+    /// Sets λ (Eq. 9).
+    pub fn with_lambda(mut self, lambda: f32) -> Self {
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets φ (Eq. 13).
+    pub fn with_phi(mut self, phi: f32) -> Self {
+        assert!(phi >= 0.0, "phi must be non-negative");
+        self.phi = phi;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the feature mode (Table 6).
+    pub fn with_feature_mode(mut self, mode: FeatureMode) -> Self {
+        self.feature_mode = mode;
+        self
+    }
+
+    /// Enables the uniform-attention ablation.
+    pub fn with_uniform_attention(mut self, uniform: bool) -> Self {
+        self.uniform_attention = uniform;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_capability_matrix() {
+        assert!(!Variant::Base.uses_target() && !Variant::Base.uses_support());
+        assert!(Variant::Zero.uses_target() && !Variant::Zero.uses_support());
+        assert!(!Variant::Few.uses_target() && Variant::Few.uses_support());
+        assert!(Variant::Hyb.uses_target() && Variant::Hyb.uses_support());
+    }
+
+    #[test]
+    fn paper_config_matches_section_5_1() {
+        let c = AdamelConfig::paper();
+        assert_eq!(c.embed_dim, 300);
+        assert_eq!(c.feature_dim, 64);
+        assert_eq!(c.attention_dim, 256);
+        assert_eq!(c.hidden_dim, 256);
+        assert_eq!(c.epochs, 100);
+        assert_eq!(c.batch_size, 16);
+        assert!((c.lambda - 0.98).abs() < 1e-6);
+        assert!((c.phi - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn lambda_out_of_range_panics() {
+        let _ = AdamelConfig::default().with_lambda(1.5);
+    }
+}

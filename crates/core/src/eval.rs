@@ -1,0 +1,49 @@
+//! Evaluation helpers binding the model to the metrics crate.
+
+use crate::model::AdamelModel;
+use adamel_metrics::{best_f1, pr_auc};
+use adamel_schema::Domain;
+
+/// PRAUC of the model on a target domain, judged against ground-truth
+/// entity identities (the evaluation protocol for "unlabeled" `D_T`).
+pub fn evaluate_prauc(model: &AdamelModel, test: &Domain) -> f64 {
+    let scores = model.predict(&test.pairs);
+    let labels: Vec<bool> = test.pairs.iter().map(|p| p.ground_truth()).collect();
+    pr_auc(&scores, &labels)
+}
+
+/// Best-threshold F1 on a target domain (Table 7's metric).
+pub fn evaluate_f1(model: &AdamelModel, test: &Domain) -> f64 {
+    let scores = model.predict(&test.pairs);
+    let labels: Vec<bool> = test.pairs.iter().map(|p| p.ground_truth()).collect();
+    best_f1(&scores, &labels).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AdamelConfig;
+    use adamel_schema::{EntityPair, Record, Schema, SourceId};
+
+    #[test]
+    fn evaluation_runs_on_untrained_model() {
+        let schema = Schema::new(vec!["title".into()]);
+        let model = AdamelModel::new(AdamelConfig::tiny(), schema);
+        let mut l = Record::new(SourceId(0), 1);
+        l.set("title", "x");
+        let mut r = Record::new(SourceId(1), 1);
+        r.set("title", "x");
+        let mut l2 = Record::new(SourceId(0), 2);
+        l2.set("title", "y");
+        let mut r2 = Record::new(SourceId(1), 3);
+        r2.set("title", "z");
+        let test = Domain::new(vec![
+            EntityPair::unlabeled(l, r),
+            EntityPair::unlabeled(l2, r2),
+        ]);
+        let auc = evaluate_prauc(&model, &test);
+        assert!((0.0..=1.0).contains(&auc));
+        let f1 = evaluate_f1(&model, &test);
+        assert!((0.0..=1.0).contains(&f1));
+    }
+}

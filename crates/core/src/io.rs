@@ -1,0 +1,202 @@
+//! Model persistence.
+//!
+//! Trained models serialize to a small self-describing text format (exact
+//! `f32` round-trip via bit patterns) so a model trained once can score new
+//! source batches later — the deployment pattern of the incremental
+//! scenario. No external serialization crates are needed.
+
+use crate::config::AdamelConfig;
+use crate::model::AdamelModel;
+use adamel_schema::{FeatureMode, Schema};
+use adamel_tensor::Matrix;
+use std::io::{self, BufRead, Write};
+
+const MAGIC: &str = "adamel-model v1";
+
+fn mode_tag(mode: FeatureMode) -> &'static str {
+    match mode {
+        FeatureMode::SharedOnly => "shared",
+        FeatureMode::UniqueOnly => "unique",
+        FeatureMode::Both => "both",
+    }
+}
+
+fn mode_from_tag(tag: &str) -> io::Result<FeatureMode> {
+    match tag {
+        "shared" => Ok(FeatureMode::SharedOnly),
+        "unique" => Ok(FeatureMode::UniqueOnly),
+        "both" => Ok(FeatureMode::Both),
+        other => Err(bad(format!("unknown feature mode {other}"))),
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes a trained model.
+pub fn save_model(model: &AdamelModel, w: &mut impl Write) -> io::Result<()> {
+    let cfg = model.config();
+    writeln!(w, "{MAGIC}")?;
+    writeln!(
+        w,
+        "config {} {} {} {} {} {} {} {} {} {} {} {}",
+        cfg.embed_dim,
+        cfg.feature_dim,
+        cfg.attention_dim,
+        cfg.hidden_dim,
+        cfg.crop,
+        cfg.learning_rate,
+        cfg.epochs,
+        cfg.batch_size,
+        cfg.lambda,
+        cfg.phi,
+        mode_tag(cfg.feature_mode),
+        cfg.seed,
+    )?;
+    let attrs = model.extractor().schema().attributes();
+    writeln!(w, "schema {}", attrs.join(" "))?;
+    let snapshot = model.snapshot_params();
+    writeln!(w, "params {}", snapshot.len())?;
+    for m in &snapshot {
+        write!(w, "tensor {} {}", m.rows(), m.cols())?;
+        for v in m.as_slice() {
+            write!(w, " {:08x}", v.to_bits())?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads a model written by [`save_model`].
+pub fn load_model(r: &mut impl BufRead) -> io::Result<AdamelModel> {
+    let mut lines = r.lines();
+    let mut next = || lines.next().unwrap_or_else(|| Err(bad("unexpected end of model file")));
+
+    if next()? != MAGIC {
+        return Err(bad("not an adamel model file"));
+    }
+    let config_line = next()?;
+    let parts: Vec<&str> = config_line.split_whitespace().collect();
+    if parts.len() != 13 || parts[0] != "config" {
+        return Err(bad("malformed config line"));
+    }
+    let p = |i: usize| -> io::Result<usize> { parts[i].parse().map_err(|_| bad("bad integer")) };
+    let pf = |i: usize| -> io::Result<f32> { parts[i].parse().map_err(|_| bad("bad float")) };
+    let cfg = AdamelConfig {
+        embed_dim: p(1)?,
+        feature_dim: p(2)?,
+        attention_dim: p(3)?,
+        hidden_dim: p(4)?,
+        crop: p(5)?,
+        learning_rate: pf(6)?,
+        epochs: p(7)?,
+        batch_size: p(8)?,
+        lambda: pf(9)?,
+        phi: pf(10)?,
+        feature_mode: mode_from_tag(parts[11])?,
+        seed: parts[12].parse().map_err(|_| bad("bad seed"))?,
+        grad_clip: Some(5.0),
+        uniform_attention: false,
+    };
+
+    let schema_line = next()?;
+    let attrs: Vec<String> = schema_line
+        .strip_prefix("schema ")
+        .ok_or_else(|| bad("malformed schema line"))?
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect();
+    if attrs.is_empty() {
+        return Err(bad("empty schema"));
+    }
+    let schema = Schema::new(attrs);
+
+    let params_line = next()?;
+    let count: usize = params_line
+        .strip_prefix("params ")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| bad("malformed params line"))?;
+
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        let line = next()?;
+        let mut it = line.split_whitespace();
+        if it.next() != Some("tensor") {
+            return Err(bad("malformed tensor line"));
+        }
+        let rows: usize = it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("bad rows"))?;
+        let cols: usize = it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("bad cols"))?;
+        let mut data = Vec::with_capacity(rows * cols);
+        for tok in it {
+            let bits = u32::from_str_radix(tok, 16).map_err(|_| bad("bad value"))?;
+            data.push(f32::from_bits(bits));
+        }
+        if data.len() != rows * cols {
+            return Err(bad(format!("tensor expected {} values, got {}", rows * cols, data.len())));
+        }
+        tensors.push(Matrix::from_vec(rows, cols, data));
+    }
+
+    let mut model = AdamelModel::new(cfg, schema);
+    model
+        .restore_params(&tensors)
+        .map_err(|e| bad(format!("parameter restore failed: {e}")))?;
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use crate::train::fit;
+    use adamel_schema::{Domain, EntityPair, Record, SourceId};
+    use std::io::BufReader;
+
+    fn trained_model() -> (AdamelModel, Vec<EntityPair>) {
+        let schema = Schema::new(vec!["name".into()]);
+        let mut model = AdamelModel::new(AdamelConfig::tiny(), schema);
+        let mut train = Vec::new();
+        for i in 0..6u64 {
+            let mut a = Record::new(SourceId(0), i);
+            a.set("name", format!("item {i} alpha"));
+            let mut b = Record::new(SourceId(1), i);
+            b.set("name", format!("item {i} alpha"));
+            train.push(EntityPair::labeled(a.clone(), b, true));
+            let mut c = Record::new(SourceId(1), i + 40);
+            c.set("name", format!("other {} beta", i + 9));
+            train.push(EntityPair::labeled(a, c, false));
+        }
+        fit(&mut model, Variant::Base, &Domain::new(train.clone()), None, None);
+        (model, train)
+    }
+
+    #[test]
+    fn save_load_round_trip_is_exact() {
+        let (model, pairs) = trained_model();
+        let mut buf = Vec::new();
+        save_model(&model, &mut buf).unwrap();
+        let restored = load_model(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(model.predict(&pairs), restored.predict(&pairs));
+        assert_eq!(model.num_parameters(), restored.num_parameters());
+        assert_eq!(
+            model.extractor().schema().attributes(),
+            restored.extractor().schema().attributes()
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let data = b"not a model\n";
+        assert!(load_model(&mut BufReader::new(&data[..])).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let (model, _) = trained_model();
+        let mut buf = Vec::new();
+        save_model(&model, &mut buf).unwrap();
+        let truncated = &buf[..buf.len() / 2];
+        assert!(load_model(&mut BufReader::new(truncated)).is_err());
+    }
+}

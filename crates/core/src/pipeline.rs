@@ -1,0 +1,169 @@
+//! An end-to-end linkage pipeline for downstream use: blocking + scoring +
+//! thresholding over raw record collections.
+//!
+//! The experiments operate on pre-built pair sets; a consumer of the
+//! library usually has two bags of records instead. [`Linker`] wraps a
+//! trained [`AdamelModel`] with token blocking so linking two collections is
+//! one call.
+
+use crate::model::AdamelModel;
+use adamel_schema::blocking::BlockingIndex;
+use adamel_schema::{EntityPair, Record};
+
+/// A scored candidate match between two records.
+#[derive(Debug, Clone)]
+pub struct MatchResult {
+    /// Index into the left collection.
+    pub left: usize,
+    /// Index into the right collection.
+    pub right: usize,
+    /// Model match score in `[0, 1]`.
+    pub score: f32,
+}
+
+/// Configuration of the linking pass.
+#[derive(Debug, Clone)]
+pub struct LinkerConfig {
+    /// Attributes used for token blocking.
+    pub block_attrs: Vec<String>,
+    /// Maximum candidates considered per left record.
+    pub max_candidates_per_record: usize,
+    /// Minimum score to emit a match.
+    pub threshold: f32,
+    /// Keep only the best match per left record.
+    pub one_to_one: bool,
+}
+
+impl Default for LinkerConfig {
+    fn default() -> Self {
+        Self {
+            block_attrs: vec!["name".into()],
+            max_candidates_per_record: 20,
+            threshold: 0.5,
+            one_to_one: false,
+        }
+    }
+}
+
+/// Blocking + scoring pipeline around a trained model.
+pub struct Linker {
+    model: AdamelModel,
+    cfg: LinkerConfig,
+}
+
+impl Linker {
+    /// Wraps a trained model.
+    pub fn new(model: AdamelModel, cfg: LinkerConfig) -> Self {
+        Self { model, cfg }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &AdamelModel {
+        &self.model
+    }
+
+    /// Links two record collections: blocks, scores every candidate pair in
+    /// one batch, applies the threshold (and one-to-one reduction if
+    /// configured). Results are sorted by descending score.
+    pub fn link(&self, left: &[Record], right: &[Record]) -> Vec<MatchResult> {
+        let block_attrs: Vec<&str> = self.cfg.block_attrs.iter().map(String::as_str).collect();
+        let index = BlockingIndex::new(right, &block_attrs);
+
+        let mut pairs = Vec::new();
+        let mut pair_ids = Vec::new();
+        for (li, l) in left.iter().enumerate() {
+            for ri in index.candidates_for(l, &block_attrs, self.cfg.max_candidates_per_record) {
+                pairs.push(EntityPair::unlabeled(l.clone(), right[ri].clone()));
+                pair_ids.push((li, ri));
+            }
+        }
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let scores = self.model.predict(&pairs);
+
+        let mut results: Vec<MatchResult> = pair_ids
+            .into_iter()
+            .zip(scores)
+            .filter(|(_, s)| *s >= self.cfg.threshold)
+            .map(|((left, right), score)| MatchResult { left, right, score })
+            .collect();
+        results.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+
+        if self.cfg.one_to_one {
+            let mut used_left = std::collections::HashSet::new();
+            let mut used_right = std::collections::HashSet::new();
+            results.retain(|m| used_left.insert(m.left) && used_right.insert(m.right));
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AdamelConfig;
+    use crate::train::{fit, };
+    use crate::config::Variant;
+    use adamel_schema::{Domain, Schema, SourceId};
+
+    fn rec(source: u32, id: u64, name: &str) -> Record {
+        let mut r = Record::new(SourceId(source), id);
+        r.set("name", name);
+        r
+    }
+
+    fn trained_linker(one_to_one: bool) -> Linker {
+        let schema = Schema::new(vec!["name".into()]);
+        let mut model = AdamelModel::new(AdamelConfig::tiny(), schema);
+        let names = ["alpha beta", "gamma delta", "epsilon zeta", "eta theta"];
+        let mut train = Vec::new();
+        for (i, n) in names.iter().enumerate() {
+            let id = i as u64;
+            train.push(EntityPair::labeled(rec(0, id, n), rec(1, id, n), true));
+            let other = names[(i + 1) % names.len()];
+            train.push(EntityPair::labeled(rec(0, id, n), rec(1, id + 50, other), false));
+        }
+        fit(&mut model, Variant::Base, &Domain::new(train), None, None);
+        Linker::new(model, LinkerConfig { threshold: 0.5, one_to_one, ..Default::default() })
+    }
+
+    #[test]
+    fn links_matching_records() {
+        let linker = trained_linker(false);
+        let left = vec![rec(0, 100, "alpha beta"), rec(0, 101, "gamma delta")];
+        let right = vec![rec(1, 200, "gamma delta"), rec(1, 201, "alpha beta"), rec(1, 202, "omicron pi")];
+        let matches = linker.link(&left, &right);
+        assert!(!matches.is_empty());
+        // Top match should pair identical names.
+        let top = &matches[0];
+        assert_eq!(left[top.left].get("name"), right[top.right].get("name"));
+    }
+
+    #[test]
+    fn one_to_one_removes_duplicate_assignments() {
+        let linker = trained_linker(true);
+        let left = vec![rec(0, 1, "alpha beta"), rec(0, 2, "alpha beta")];
+        let right = vec![rec(1, 3, "alpha beta")];
+        let matches = linker.link(&left, &right);
+        assert!(matches.len() <= 1, "one-to-one violated: {matches:?}");
+    }
+
+    #[test]
+    fn empty_inputs_yield_no_matches() {
+        let linker = trained_linker(false);
+        assert!(linker.link(&[], &[]).is_empty());
+        assert!(linker.link(&[rec(0, 1, "x")], &[]).is_empty());
+    }
+
+    #[test]
+    fn results_sorted_descending() {
+        let linker = trained_linker(false);
+        let left = vec![rec(0, 1, "alpha beta"), rec(0, 2, "gamma delta")];
+        let right = vec![rec(1, 3, "alpha beta"), rec(1, 4, "gamma delta"), rec(1, 5, "alpha gamma")];
+        let matches = linker.link(&left, &right);
+        for w in matches.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}

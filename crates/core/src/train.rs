@@ -1,0 +1,440 @@
+//! Training loops for the four AdaMEL variants (Algorithms 1–3).
+//!
+//! All variants share the mini-batch supervised pass over `D_S`; the
+//! adaptation variants add:
+//!
+//! * **zero/hyb** — at the start of every epoch the mean target-domain
+//!   attention vector `f̄(x')` is recomputed with the current parameters
+//!   (Algorithm 1 line 5) and each batch minimizes
+//!   `(1−λ)·L_base + λ·KL(f̄(x') || f(x_i))` (Eq. 9–10);
+//! * **few/hyb** — after the `D_S` pass of each epoch the positive/negative
+//!   attention centroids `c±` and mean distances `d̄±` are recomputed
+//!   (Eq. 11) and the support set's distance-ratio-weighted cross-entropy,
+//!   scaled by φ, joins one batch's gradient accumulation per epoch
+//!   (Eq. 12–13) — matching Algorithms 2–3, which accumulate `J` across the
+//!   base and support terms before updating.
+
+use crate::config::Variant;
+use crate::model::AdamelModel;
+use adamel_schema::Domain;
+use adamel_tensor::{Adam, Graph, Matrix, Optimizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Summary of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean loss per epoch (base + adaptation terms as trained).
+    pub epoch_losses: Vec<f32>,
+    /// Number of epochs run.
+    pub epochs: usize,
+}
+
+impl TrainReport {
+    /// The last epoch's mean loss.
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_losses.last().copied().unwrap_or(f32::NAN)
+    }
+}
+
+/// Trains `model` as `variant`.
+///
+/// * `train` — labeled `D_S` pairs (required, non-empty);
+/// * `target` — unlabeled `D_T` pairs, required for zero/hyb;
+/// * `support` — labeled `S_U` pairs, required for few/hyb.
+///
+/// Panics if a required input is missing, mirroring the algorithm
+/// signatures.
+pub fn fit(
+    model: &mut AdamelModel,
+    variant: Variant,
+    train: &Domain,
+    target: Option<&Domain>,
+    support: Option<&Domain>,
+) -> TrainReport {
+    assert!(!train.is_empty(), "fit: empty training domain");
+    let target = if variant.uses_target() {
+        let t = target.expect("fit: this variant requires the unlabeled target domain");
+        assert!(!t.is_empty(), "fit: empty target domain");
+        Some(t)
+    } else {
+        None
+    };
+    let support = if variant.uses_support() {
+        let s = support.expect("fit: this variant requires the labeled support set");
+        assert!(!s.is_empty(), "fit: empty support set");
+        Some(s)
+    } else {
+        None
+    };
+
+    let cfg = model.config().clone();
+    let train_enc = model.encode(&train.pairs);
+    let train_labels = train.labels();
+    let target_enc = target.map(|t| model.encode(&t.pairs));
+    let support_enc = support.map(|s| model.encode(&s.pairs));
+    let support_labels = support.map(Domain::labels);
+
+    let mut opt = Adam::with_lr(cfg.learning_rate);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7ea1);
+    let mut report = TrainReport { epoch_losses: Vec::with_capacity(cfg.epochs), epochs: 0 };
+
+    let n = train.len();
+    let mut order: Vec<usize> = (0..n).collect();
+
+    for _epoch in 0..cfg.epochs {
+        // Algorithm 1 line 5: f̄(x') with current parameters.
+        let target_mean = target_enc
+            .as_ref()
+            .map(|enc| model.attention_encoded(enc).mean_rows());
+
+        for i in (1..n).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+
+        // Support weights are recomputed per epoch with the current f
+        // (Algorithms 2–3 line 10).
+        let support_batch = match (&support_enc, &support_labels) {
+            (Some(enc), Some(labels)) => {
+                let weights = support_weights(model, &train_enc, &train_labels, enc, labels);
+                let y = Matrix::from_vec(labels.len(), 1, labels.clone());
+                let w = Matrix::from_vec(labels.len(), 1, weights);
+                Some((y, w))
+            }
+            _ => None,
+        };
+
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let batch_enc = train_enc.select_rows(chunk);
+            let batch_y =
+                Matrix::from_vec(chunk.len(), 1, chunk.iter().map(|&i| train_labels[i]).collect());
+
+            let mut g = Graph::new();
+            let nodes = model.forward(&mut g, &batch_enc);
+            let base = g.bce_with_logits(nodes.logits, batch_y);
+            let mut loss = match &target_mean {
+                Some(mean) => {
+                    // L_un = (1-λ) L_base + λ KL(f̄(x') || f(x_i)) (Eq. 9).
+                    let kl = g.kl_const_rows(nodes.attention, mean.clone(), 1e-7);
+                    let base_term = g.scale(base, 1.0 - cfg.lambda);
+                    let kl_term = g.scale(kl, cfg.lambda);
+                    g.add(base_term, kl_term)
+                }
+                None => base,
+            };
+            // L_ssl / L_hybrid (Eq. 13–14): once per epoch the support term
+            // joins the same gradient accumulation as a batch loss rather
+            // than taking a standalone optimizer step — Adam's normalized
+            // step sizes would otherwise overweight S_U regardless of φ.
+            if batches == 0 {
+                if let Some((y, w)) = &support_batch {
+                    let support_nodes = model.forward(&mut g, support_enc.as_ref().unwrap());
+                    let s = g.weighted_bce_with_logits(support_nodes.logits, y.clone(), w.clone());
+                    let s = g.scale(s, cfg.phi);
+                    loss = g.add(loss, s);
+                }
+            }
+            epoch_loss += g.value(loss).item();
+            batches += 1;
+
+            model.params.zero_grads();
+            g.backward(loss, &mut model.params);
+            if let Some(clip) = cfg.grad_clip {
+                model.params.clip_grad_norm(clip);
+            }
+            opt.step(&mut model.params);
+        }
+
+        report.epoch_losses.push(epoch_loss / batches.max(1) as f32);
+        report.epochs += 1;
+    }
+    report
+}
+
+/// Distance-ratio weights of Eq. 12: support pairs whose attention vectors
+/// deviate from the source-domain centroid of their class get larger
+/// weights, highlighting pairs from genuinely new sources.
+fn support_weights(
+    model: &AdamelModel,
+    train_enc: &Matrix,
+    train_labels: &[f32],
+    support_enc: &Matrix,
+    support_labels: &[f32],
+) -> Vec<f32> {
+    let att_s = model.attention_encoded(train_enc);
+    let att_u = model.attention_encoded(support_enc);
+    let f = att_s.cols();
+
+    // Class centroids over D_S (Eq. 11).
+    let mut centroid = [vec![0.0f32; f], vec![0.0f32; f]];
+    let mut counts = [0usize; 2];
+    for (i, &y) in train_labels.iter().enumerate() {
+        let c = usize::from(y > 0.5);
+        counts[c] += 1;
+        for (acc, &v) in centroid[c].iter_mut().zip(att_s.row(i)) {
+            *acc += v;
+        }
+    }
+    for c in 0..2 {
+        let inv = 1.0 / counts[c].max(1) as f32;
+        centroid[c].iter_mut().for_each(|v| *v *= inv);
+    }
+
+    // Mean distance of each class to its centroid.
+    let dist = |row: &[f32], c: &[f32]| -> f32 {
+        row.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt()
+    };
+    let mut mean_dist = [0.0f32; 2];
+    for (i, &y) in train_labels.iter().enumerate() {
+        let c = usize::from(y > 0.5);
+        mean_dist[c] += dist(att_s.row(i), &centroid[c]);
+    }
+    for c in 0..2 {
+        mean_dist[c] /= counts[c].max(1) as f32;
+        if mean_dist[c] <= f32::EPSILON {
+            mean_dist[c] = 1.0; // degenerate: all source attentions equal
+        }
+    }
+
+    let mut weights: Vec<f32> = support_labels
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| {
+            let c = usize::from(y > 0.5);
+            let w = dist(att_u.row(i), &centroid[c]) / mean_dist[c];
+            // Clamp so a single outlier cannot dominate the pass.
+            w.clamp(0.2, 5.0)
+        })
+        .collect();
+    // Normalize to mean 1: Eq. 12 weights are *relative* emphases; keeping
+    // the total loss scale comparable to a plain batch stabilizes Adam.
+    let mean = weights.iter().sum::<f32>() / weights.len().max(1) as f32;
+    if mean > 0.0 {
+        weights.iter_mut().for_each(|w| *w /= mean);
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AdamelConfig;
+    use adamel_schema::{EntityPair, Record, Schema, SourceId};
+
+    fn rec(source: u32, id: u64, title: &str) -> Record {
+        let mut r = Record::new(SourceId(source), id);
+        r.set("title", title);
+        r
+    }
+
+    /// A tiny separable task: matching pairs share the title.
+    fn toy_domains() -> (Schema, Domain, Domain, Domain) {
+        let titles = ["alpha beta", "gamma delta", "epsilon zeta", "eta theta", "iota kappa"];
+        let mut train = Vec::new();
+        let mut id = 0u64;
+        for t in titles {
+            train.push(EntityPair::labeled(rec(0, id, t), rec(1, id, t), true));
+            id += 1;
+        }
+        for (i, t) in titles.iter().enumerate() {
+            let other = titles[(i + 1) % titles.len()];
+            train.push(EntityPair::labeled(rec(0, id, t), rec(1, id + 1, other), false));
+            id += 2;
+        }
+        let target = Domain::new(
+            train
+                .iter()
+                .map(|p| EntityPair::unlabeled(p.left.clone(), p.right.clone()))
+                .collect(),
+        );
+        let support = Domain::new(train[..4].to_vec());
+        (Schema::new(vec!["title".into()]), Domain::new(train), target, support)
+    }
+
+    fn trained(variant: Variant) -> (AdamelModel, Domain) {
+        let (schema, train, target, support) = toy_domains();
+        let mut model = AdamelModel::new(AdamelConfig::tiny(), schema);
+        fit(&mut model, variant, &train, Some(&target), Some(&support));
+        (model, train)
+    }
+
+    #[test]
+    fn base_learns_separable_task() {
+        let (model, train) = trained(Variant::Base);
+        let scores = model.predict(&train.pairs);
+        let labels = train.labels();
+        // Positives should outscore negatives on average.
+        let pos: f32 = scores.iter().zip(&labels).filter(|(_, &l)| l > 0.5).map(|(s, _)| s).sum();
+        let neg: f32 = scores.iter().zip(&labels).filter(|(_, &l)| l < 0.5).map(|(s, _)| s).sum();
+        let n_pos = labels.iter().filter(|&&l| l > 0.5).count() as f32;
+        let n_neg = labels.len() as f32 - n_pos;
+        assert!(pos / n_pos > neg / n_neg + 0.15, "pos {} neg {}", pos / n_pos, neg / n_neg);
+    }
+
+    #[test]
+    fn all_variants_train_without_nan() {
+        for variant in Variant::ALL {
+            let (model, train) = trained(variant);
+            for s in model.predict(&train.pairs) {
+                assert!(s.is_finite(), "{variant:?} produced non-finite score");
+            }
+        }
+    }
+
+    #[test]
+    fn loss_decreases_for_base() {
+        let (schema, train, _, _) = toy_domains();
+        let mut model = AdamelModel::new(AdamelConfig::tiny(), schema);
+        let report = fit(&mut model, Variant::Base, &train, None, None);
+        let first = report.epoch_losses[0];
+        let last = report.final_loss();
+        assert!(last < first, "loss went {first} -> {last}");
+    }
+
+    #[test]
+    fn zero_aligns_attention_with_target_mean() {
+        let (schema, train, target, _) = toy_domains();
+        // λ close to 1: adaptation dominates; attention of source pairs
+        // should be pulled toward the target mean.
+        let cfg = AdamelConfig::tiny().with_lambda(0.98);
+        let mut model = AdamelModel::new(cfg, schema.clone());
+        fit(&mut model, Variant::Zero, &train, Some(&target), None);
+        let att_s = model.attention(&train.pairs).mean_rows();
+        let att_t = model.attention(&target.pairs).mean_rows();
+        let gap = att_s.distance(&att_t);
+        assert!(gap < 0.05, "attention means still {gap} apart");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (schema, train, _, _) = toy_domains();
+        let mut m1 = AdamelModel::new(AdamelConfig::tiny(), schema.clone());
+        let mut m2 = AdamelModel::new(AdamelConfig::tiny(), schema);
+        fit(&mut m1, Variant::Base, &train, None, None);
+        fit(&mut m2, Variant::Base, &train, None, None);
+        assert_eq!(m1.predict(&train.pairs), m2.predict(&train.pairs));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the unlabeled target domain")]
+    fn zero_requires_target() {
+        let (schema, train, _, _) = toy_domains();
+        let mut model = AdamelModel::new(AdamelConfig::tiny(), schema);
+        fit(&mut model, Variant::Zero, &train, None, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the labeled support set")]
+    fn few_requires_support() {
+        let (schema, train, _, _) = toy_domains();
+        let mut model = AdamelModel::new(AdamelConfig::tiny(), schema);
+        fit(&mut model, Variant::Few, &train, None, None);
+    }
+
+    #[test]
+    fn support_weights_highlight_deviating_pairs() {
+        let (schema, train, _, support) = toy_domains();
+        let model = AdamelModel::new(AdamelConfig::tiny(), schema);
+        let train_enc = model.encode(&train.pairs);
+        let support_enc = model.encode(&support.pairs);
+        let w = support_weights(
+            &model,
+            &train_enc,
+            &train.labels(),
+            &support_enc,
+            &support.labels(),
+        );
+        assert_eq!(w.len(), support.len());
+        for v in w {
+            assert!(v.is_finite() && v > 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod equivalence_tests {
+    use super::*;
+    use crate::config::AdamelConfig;
+    use crate::model::AdamelModel;
+    use adamel_schema::{EntityPair, Record, Schema, SourceId};
+
+    fn rec(source: u32, id: u64, title: &str) -> Record {
+        let mut r = Record::new(SourceId(source), id);
+        r.set("title", title);
+        r
+    }
+
+    fn small_task() -> (Schema, Domain, Domain) {
+        let mut train = Vec::new();
+        for i in 0..6u64 {
+            train.push(EntityPair::labeled(
+                rec(0, i, &format!("t {i} x")),
+                rec(1, i, &format!("t {i} x")),
+                true,
+            ));
+            train.push(EntityPair::labeled(
+                rec(0, i, &format!("t {i} x")),
+                rec(1, i + 30, &format!("u {} y", i + 9)),
+                false,
+            ));
+        }
+        let target = Domain::new(
+            train.iter().map(|p| EntityPair::unlabeled(p.left.clone(), p.right.clone())).collect(),
+        );
+        (Schema::new(vec!["title".into()]), Domain::new(train), target)
+    }
+
+    /// With λ = 0 the KL term is weightless, so AdaMEL-zero must produce
+    /// bit-identical parameters to AdaMEL-base (same RNG consumption, same
+    /// gradients).
+    #[test]
+    fn zero_with_lambda_zero_equals_base() {
+        let (schema, train, target) = small_task();
+        let cfg = AdamelConfig::tiny().with_lambda(0.0);
+        let mut base = AdamelModel::new(cfg.clone(), schema.clone());
+        fit(&mut base, Variant::Base, &train, None, None);
+        let mut zero = AdamelModel::new(cfg, schema);
+        fit(&mut zero, Variant::Zero, &train, Some(&target), None);
+        assert_eq!(base.predict(&train.pairs), zero.predict(&train.pairs));
+    }
+
+    /// Epoch losses are finite and the report length matches the config.
+    #[test]
+    fn report_accounts_every_epoch() {
+        let (schema, train, target) = small_task();
+        let cfg = AdamelConfig::tiny();
+        let epochs = cfg.epochs;
+        let mut model = AdamelModel::new(cfg, schema);
+        let report = fit(&mut model, Variant::Zero, &train, Some(&target), None);
+        assert_eq!(report.epochs, epochs);
+        assert_eq!(report.epoch_losses.len(), epochs);
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+
+    /// Training must tolerate a single-pair support set (the |S_U| = 1 point
+    /// of Fig. 10).
+    #[test]
+    fn single_pair_support_set_works() {
+        let (schema, train, target) = small_task();
+        let support = Domain::new(vec![train.pairs[0].clone()]);
+        let mut model = AdamelModel::new(AdamelConfig::tiny(), schema);
+        fit(&mut model, Variant::Hyb, &train, Some(&target), Some(&support));
+        assert!(model.predict(&train.pairs).iter().all(|s| s.is_finite()));
+    }
+
+    /// A training domain with a single class must not panic (centroid of an
+    /// empty class is guarded).
+    #[test]
+    fn single_class_training_domain_is_guarded() {
+        let (schema, train, target) = small_task();
+        let positives = Domain::new(
+            train.pairs.iter().filter(|p| p.label == Some(true)).cloned().collect(),
+        );
+        let support = Domain::new(train.pairs[..2].to_vec());
+        let mut model = AdamelModel::new(AdamelConfig::tiny(), schema);
+        fit(&mut model, Variant::Few, &positives, Some(&target), Some(&support));
+        assert!(model.predict(&train.pairs).iter().all(|s| s.is_finite()));
+    }
+}

@@ -1,0 +1,322 @@
+//! Synthetic stand-ins for the Magellan benchmark datasets of Table 7.
+//!
+//! The paper's single-domain experiment (§5.7.2) compares DeepMatcher,
+//! AdaMEL-zero and AdaMEL-hyb on 11 public benchmark datasets (7 structured,
+//! 4 dirty). What Table 7 establishes is *relative*: on clean single-domain
+//! data without C1–C3, word-level models have the edge over AdaMEL-zero
+//! while AdaMEL-hyb stays comparable. Each dataset is therefore simulated by
+//! a generator matched on schema width, value length, noise level, and
+//! difficulty tier; the dirty variants additionally swap values into wrong
+//! columns, the standard "dirty EM" construction.
+
+use adamel_schema::{Domain, EntityPair, Record, Schema, SourceId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Difficulty tier controlling noise and negative hardness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Near-perfectly separable (DBLP-ACM, Fodors-Zagats).
+    Easy,
+    /// Mild noise (DBLP-GoogleScholar, iTunes-Amazon, Beer).
+    Medium,
+    /// Heavy noise, overlapping vocabulary (Amazon-Google, Walmart-Amazon).
+    Hard,
+}
+
+/// Static description of one benchmark dataset.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSpec {
+    /// Dataset name as reported in Table 7.
+    pub name: &'static str,
+    /// Domain column of Table 7.
+    pub domain: &'static str,
+    /// Structured or dirty variant.
+    pub dirty: bool,
+    /// Attribute schema.
+    pub attributes: &'static [&'static str],
+    /// Number of distinct entities.
+    pub num_entities: usize,
+    /// Difficulty tier.
+    pub tier: Tier,
+}
+
+const CITATION_ATTRS: &[&str] = &["title", "authors", "venue", "year"];
+const PRODUCT_ATTRS: &[&str] = &["title", "manufacturer", "price", "category"];
+const RESTAURANT_ATTRS: &[&str] = &["name", "address", "city", "phone", "cuisine"];
+const MUSIC_ATTRS: &[&str] = &["song_name", "artist_name", "album_name", "genre", "price"];
+
+/// The 11 Table 7 datasets.
+pub fn benchmark_specs() -> Vec<BenchmarkSpec> {
+    vec![
+        BenchmarkSpec { name: "Amazon-Google", domain: "Software", dirty: false, attributes: PRODUCT_ATTRS, num_entities: 220, tier: Tier::Hard },
+        BenchmarkSpec { name: "Beer", domain: "Product", dirty: false, attributes: PRODUCT_ATTRS, num_entities: 100, tier: Tier::Medium },
+        BenchmarkSpec { name: "DBLP-ACM", domain: "Citation", dirty: false, attributes: CITATION_ATTRS, num_entities: 250, tier: Tier::Easy },
+        BenchmarkSpec { name: "DBLP-Google", domain: "Citation", dirty: false, attributes: CITATION_ATTRS, num_entities: 250, tier: Tier::Medium },
+        BenchmarkSpec { name: "Fodors-Zagats", domain: "Restaurant", dirty: false, attributes: RESTAURANT_ATTRS, num_entities: 120, tier: Tier::Easy },
+        BenchmarkSpec { name: "iTunes-Amazon", domain: "Music", dirty: false, attributes: MUSIC_ATTRS, num_entities: 150, tier: Tier::Medium },
+        BenchmarkSpec { name: "Walmart-Amazon", domain: "Electronics", dirty: false, attributes: PRODUCT_ATTRS, num_entities: 220, tier: Tier::Hard },
+        BenchmarkSpec { name: "DBLP-ACM", domain: "Citation", dirty: true, attributes: CITATION_ATTRS, num_entities: 250, tier: Tier::Easy },
+        BenchmarkSpec { name: "DBLP-Google", domain: "Citation", dirty: true, attributes: CITATION_ATTRS, num_entities: 250, tier: Tier::Medium },
+        BenchmarkSpec { name: "iTunes-Amazon", domain: "Music", dirty: true, attributes: MUSIC_ATTRS, num_entities: 150, tier: Tier::Medium },
+        BenchmarkSpec { name: "Walmart-Amazon", domain: "Electronics", dirty: true, attributes: PRODUCT_ATTRS, num_entities: 220, tier: Tier::Hard },
+    ]
+}
+
+impl Tier {
+    fn typo_rate(self) -> f64 {
+        match self {
+            Tier::Easy => 0.01,
+            Tier::Medium => 0.08,
+            Tier::Hard => 0.2,
+        }
+    }
+    fn missing_rate(self) -> f64 {
+        match self {
+            Tier::Easy => 0.02,
+            Tier::Medium => 0.08,
+            Tier::Hard => 0.18,
+        }
+    }
+    fn hard_negative_fraction(self) -> f64 {
+        match self {
+            Tier::Easy => 0.2,
+            Tier::Medium => 0.5,
+            Tier::Hard => 0.85,
+        }
+    }
+    /// Smaller vocabularies make negatives collide more (harder).
+    fn vocab_size(self) -> usize {
+        match self {
+            Tier::Easy => 400,
+            Tier::Medium => 150,
+            Tier::Hard => 60,
+        }
+    }
+}
+
+/// A generated benchmark: labeled train/test domains over two sources with
+/// one shared schema and no C1–C3 challenges.
+pub struct BenchmarkData {
+    /// Labeled training pairs.
+    pub train: Domain,
+    /// Labeled test pairs.
+    pub test: Domain,
+    /// The dataset schema.
+    pub schema: Schema,
+}
+
+/// Generates one benchmark dataset deterministically.
+pub fn generate_benchmark(spec: &BenchmarkSpec, seed: u64) -> BenchmarkData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vocab: Vec<String> =
+        (0..spec.tier.vocab_size()).map(|i| synth_word(i as u64, seed)).collect();
+
+    // Canonical entities: one value per attribute.
+    let mut canonical: Vec<Vec<String>> = Vec::with_capacity(spec.num_entities);
+    for _ in 0..spec.num_entities {
+        let values = spec
+            .attributes
+            .iter()
+            .map(|attr| {
+                let words = if attr.contains("title") || attr.contains("name") {
+                    rng.gen_range(2..=4)
+                } else {
+                    rng.gen_range(1..=2)
+                };
+                (0..words)
+                    .map(|_| vocab[rng.gen_range(0..vocab.len())].clone())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        canonical.push(values);
+    }
+
+    let render = |id: usize, source: u32, rng: &mut StdRng, canonical: &[Vec<String>]| -> Record {
+        let mut r = Record::new(SourceId(source), id as u64);
+        let mut rendered: Vec<(usize, String)> = Vec::new();
+        for (ai, attr) in spec.attributes.iter().enumerate() {
+            if rng.gen_bool(spec.tier.missing_rate()) {
+                continue;
+            }
+            let v = crate::names::maybe_typo(&canonical[id][ai], spec.tier.typo_rate(), rng);
+            rendered.push((ai, v));
+            let _ = attr;
+        }
+        // Dirty construction: move a value into another attribute's column.
+        if spec.dirty {
+            for entry in rendered.iter_mut() {
+                if rng.gen_bool(0.25) {
+                    entry.0 = rng.gen_range(0..spec.attributes.len());
+                }
+            }
+        }
+        for (ai, v) in rendered {
+            // Later writes overwrite earlier ones for a swapped-in column;
+            // that lossiness is what makes dirty variants harder.
+            r.set(spec.attributes[ai], v);
+        }
+        r
+    };
+
+    let mut pairs: Vec<EntityPair> = Vec::new();
+    // Positives: entity rendered by both sources.
+    for id in 0..spec.num_entities {
+        let a = render(id, 0, &mut rng, &canonical);
+        let b = render(id, 1, &mut rng, &canonical);
+        pairs.push(EntityPair::labeled(a, b, true));
+    }
+    // Negatives: 2 per entity; tier-dependent share are near-misses that
+    // share title words.
+    for id in 0..spec.num_entities {
+        for _ in 0..2 {
+            let other = if rng.gen_bool(spec.tier.hard_negative_fraction()) {
+                // Near-miss: clone canonical, perturb one word, register as a
+                // different entity.
+                let mut values = canonical[id].clone();
+                let ai = rng.gen_range(0..values.len());
+                values[ai] = vocab[rng.gen_range(0..vocab.len())].clone();
+                canonical.len() + pairs.len() // fresh id
+            } else {
+                let mut o = rng.gen_range(0..spec.num_entities);
+                if o == id {
+                    o = (o + 1) % spec.num_entities;
+                }
+                o
+            };
+            let a = render(id, 0, &mut rng, &canonical);
+            let mut b = if other < canonical.len() {
+                render(other, 1, &mut rng, &canonical)
+            } else {
+                // Near-miss record: same as id but one attribute re-rolled.
+                let mut fake = render(id, 1, &mut rng, &canonical);
+                let attr = spec.attributes[rng.gen_range(0..spec.attributes.len())];
+                fake.set(attr, vocab[rng.gen_range(0..vocab.len())].clone());
+                fake
+            };
+            b.entity_id = other as u64;
+            pairs.push(EntityPair::labeled(a, b, false));
+        }
+    }
+
+    // Deterministic shuffle, 60/40 train/test split.
+    for i in (1..pairs.len()).rev() {
+        pairs.swap(i, rng.gen_range(0..=i));
+    }
+    let cut = pairs.len() * 3 / 5;
+    let test = pairs.split_off(cut);
+    let schema = Schema::new(spec.attributes.iter().map(|s| s.to_string()).collect());
+    BenchmarkData { train: Domain::new(pairs), test: Domain::new(test), schema }
+}
+
+fn synth_word(i: u64, seed: u64) -> String {
+    // Pronounceable deterministic pseudo-words, distinct per index.
+    const C: &[u8] = b"bcdfgklmnprstvz";
+    const V: &[u8] = b"aeiou";
+    let mut x = i.wrapping_mul(0x9e37_79b9).wrapping_add(seed);
+    let mut s = String::new();
+    for k in 0..3 {
+        let c = C[(x % C.len() as u64) as usize] as char;
+        x /= C.len() as u64;
+        let v = V[(x % V.len() as u64) as usize] as char;
+        x /= V.len() as u64;
+        s.push(c);
+        s.push(v);
+        if k == 1 && x % 2 == 0 {
+            break;
+        }
+    }
+    s.push_str(&(i % 97).to_string());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_specs_match_table7() {
+        let specs = benchmark_specs();
+        assert_eq!(specs.len(), 11);
+        assert_eq!(specs.iter().filter(|s| s.dirty).count(), 4);
+        assert!(specs.iter().any(|s| s.name == "Fodors-Zagats"));
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        let spec = &benchmark_specs()[2]; // DBLP-ACM
+        let a = generate_benchmark(spec, 3);
+        let b = generate_benchmark(spec, 3);
+        assert_eq!(a.train.len(), b.train.len());
+        assert_eq!(a.train.labels(), b.train.labels());
+    }
+
+    #[test]
+    fn positives_and_negatives_present_in_both_splits() {
+        let spec = &benchmark_specs()[4]; // Fodors-Zagats
+        let d = generate_benchmark(spec, 1);
+        for dom in [&d.train, &d.test] {
+            let pos = dom.num_positive();
+            assert!(pos > 0 && pos < dom.len());
+        }
+        assert_eq!(d.schema.len(), RESTAURANT_ATTRS.len());
+    }
+
+    #[test]
+    fn dirty_variant_misplaces_values() {
+        let clean_spec = &benchmark_specs()[2];
+        let dirty_spec = &benchmark_specs()[7];
+        assert_eq!(clean_spec.name, dirty_spec.name);
+        let clean = generate_benchmark(clean_spec, 5);
+        let dirty = generate_benchmark(dirty_spec, 5);
+        // Dirty records should, on average, have fewer populated attributes
+        // (column collisions drop values).
+        let avg = |d: &BenchmarkData| {
+            let total: usize = d
+                .train
+                .pairs
+                .iter()
+                .map(|p| p.left.attributes().count() + p.right.attributes().count())
+                .sum();
+            total as f64 / (2 * d.train.len()) as f64
+        };
+        assert!(avg(&dirty) <= avg(&clean) + 0.1);
+    }
+
+    #[test]
+    fn hard_tier_has_harder_negatives_than_easy() {
+        use adamel_text::tokenize;
+        let overlap_share = |d: &BenchmarkData| {
+            let negs: Vec<&EntityPair> =
+                d.train.pairs.iter().filter(|p| p.label == Some(false)).collect();
+            let sharing = negs
+                .iter()
+                .filter(|p| {
+                    let a: Vec<String> =
+                        p.left.values.values().flat_map(|v| tokenize(v)).collect();
+                    let b: Vec<String> =
+                        p.right.values.values().flat_map(|v| tokenize(v)).collect();
+                    a.iter().any(|t| b.contains(t))
+                })
+                .count();
+            sharing as f64 / negs.len().max(1) as f64
+        };
+        let easy = generate_benchmark(&benchmark_specs()[2], 7);
+        let hard = generate_benchmark(&benchmark_specs()[6], 7);
+        assert!(
+            overlap_share(&hard) > overlap_share(&easy),
+            "hard {} <= easy {}",
+            overlap_share(&hard),
+            overlap_share(&easy)
+        );
+    }
+
+    #[test]
+    fn synth_word_distinct_and_stable() {
+        let a = synth_word(1, 0);
+        let b = synth_word(2, 0);
+        assert_ne!(a, b);
+        assert_eq!(synth_word(1, 0), a);
+    }
+}

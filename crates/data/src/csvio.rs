@@ -1,0 +1,206 @@
+//! CSV import/export of pair sets.
+//!
+//! The DI2KG challenge distributes its labels as CSV (`monitor_label.csv`);
+//! this module provides a compatible interchange format so generated corpora
+//! can be inspected, diffed, and re-loaded:
+//!
+//! ```text
+//! left_source,left_entity,right_source,right_entity,label,attr,left_value,right_value
+//! ```
+//!
+//! Pairs are flattened to one row per attribute; `label` is `1`, `0`, or
+//! empty for unlabeled pairs.
+
+use adamel_schema::{Domain, EntityPair, Record, Schema, SourceId};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Splits one CSV line honoring quoted fields.
+fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes && chars.peek() == Some(&'"') => {
+                cur.push('"');
+                chars.next();
+            }
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Writes a domain to CSV.
+pub fn write_pairs(domain: &Domain, schema: &Schema, w: &mut impl Write) -> io::Result<()> {
+    writeln!(
+        w,
+        "left_source,left_entity,right_source,right_entity,label,attr,left_value,right_value"
+    )?;
+    for p in &domain.pairs {
+        let label = match p.label {
+            Some(true) => "1",
+            Some(false) => "0",
+            None => "",
+        };
+        for attr in schema.attributes() {
+            let lv = p.left.get(attr).unwrap_or("");
+            let rv = p.right.get(attr).unwrap_or("");
+            if lv.is_empty() && rv.is_empty() {
+                continue;
+            }
+            writeln!(
+                w,
+                "{},{},{},{},{},{},{},{}",
+                p.left.source.0,
+                p.left.entity_id,
+                p.right.source.0,
+                p.right.entity_id,
+                label,
+                escape(attr),
+                escape(lv),
+                escape(rv)
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a domain back from CSV produced by [`write_pairs`].
+pub fn read_pairs(r: &mut impl BufRead) -> io::Result<Domain> {
+    // Key: (left_source, left_entity, right_source, right_entity, label).
+    type Key = (u32, u64, u32, u64, String);
+    let mut order: Vec<Key> = Vec::new();
+    let mut groups: BTreeMap<Key, Vec<(String, String, String)>> = BTreeMap::new();
+    let mut first = true;
+    for line in r.lines() {
+        let line = line?;
+        if first {
+            first = false;
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f = split_line(&line);
+        if f.len() != 8 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected 8 CSV fields, got {}: {line}", f.len()),
+            ));
+        }
+        let parse_err = |what: &str| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad {what} in: {line}"))
+        };
+        let key: Key = (
+            f[0].parse().map_err(|_| parse_err("left_source"))?,
+            f[1].parse().map_err(|_| parse_err("left_entity"))?,
+            f[2].parse().map_err(|_| parse_err("right_source"))?,
+            f[3].parse().map_err(|_| parse_err("right_entity"))?,
+            f[4].clone(),
+        );
+        if !groups.contains_key(&key) {
+            order.push(key.clone());
+        }
+        groups.entry(key).or_default().push((f[5].clone(), f[6].clone(), f[7].clone()));
+    }
+
+    let mut pairs = Vec::with_capacity(order.len());
+    for key in order {
+        let (ls, le, rs, re, label) = key.clone();
+        let mut left = Record::new(SourceId(ls), le);
+        let mut right = Record::new(SourceId(rs), re);
+        for (attr, lv, rv) in &groups[&key] {
+            if !lv.is_empty() {
+                left.set(attr.clone(), lv.clone());
+            }
+            if !rv.is_empty() {
+                right.set(attr.clone(), rv.clone());
+            }
+        }
+        let label = match label.as_str() {
+            "1" => Some(true),
+            "0" => Some(false),
+            "" => None,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad label {other}"),
+                ))
+            }
+        };
+        pairs.push(EntityPair { left, right, label });
+    }
+    Ok(Domain::new(pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn sample_domain() -> (Domain, Schema) {
+        let mut l = Record::new(SourceId(1), 10);
+        l.set("title", "Hey, \"Jude\"");
+        l.set("artist", "The Beatles");
+        let mut r = Record::new(SourceId(2), 10);
+        r.set("title", "Hey Jude");
+        let mut l2 = Record::new(SourceId(1), 11);
+        l2.set("title", "Hello");
+        let r2 = Record::new(SourceId(3), 12);
+        let domain = Domain::new(vec![
+            EntityPair::labeled(l, r, true),
+            EntityPair::unlabeled(l2, r2),
+        ]);
+        let schema = Schema::new(vec!["artist".into(), "title".into()]);
+        (domain, schema)
+    }
+
+    #[test]
+    fn round_trip_preserves_pairs() {
+        let (domain, schema) = sample_domain();
+        let mut buf = Vec::new();
+        write_pairs(&domain, &schema, &mut buf).unwrap();
+        let restored = read_pairs(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(restored.len(), domain.len());
+        assert_eq!(restored.pairs[0].label, Some(true));
+        assert_eq!(restored.pairs[0].left.get("title"), Some("Hey, \"Jude\""));
+        assert_eq!(restored.pairs[0].right.get("title"), Some("Hey Jude"));
+        assert_eq!(restored.pairs[1].label, None);
+        assert_eq!(restored.pairs[1].left.entity_id, 11);
+    }
+
+    #[test]
+    fn quoting_round_trip() {
+        assert_eq!(split_line("a,\"b,c\",\"d\"\"e\""), vec!["a", "b,c", "d\"e"]);
+        assert_eq!(escape("x,y"), "\"x,y\"");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn malformed_line_is_error() {
+        let data = b"header\n1,2,3\n";
+        assert!(read_pairs(&mut BufReader::new(&data[..])).is_err());
+    }
+
+    #[test]
+    fn bad_label_is_error() {
+        let data = b"h\n1,1,2,2,banana,title,a,b\n";
+        assert!(read_pairs(&mut BufReader::new(&data[..])).is_err());
+    }
+}

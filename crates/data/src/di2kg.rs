@@ -1,0 +1,294 @@
+//! Loader for DI2KG-style corpora (the paper's Monitor dataset source).
+//!
+//! The DI2KG challenge distributes product specs as per-source documents
+//! keyed by *spec ids* of the form `www.ebay.com//123`, plus a
+//! `monitor_label.csv` with `left_spec_id,right_spec_id,label` rows. The
+//! paper filters this corpus to 24 sources / 13 attributes (appendix A.1).
+//!
+//! This module ingests that layout from two flat CSV files so the
+//! experiments can run against the *real* corpus when a user has obtained
+//! it (it is not redistributable here):
+//!
+//! * a **records** file: `spec_id,attribute,value` triples;
+//! * a **labels** file: `left_spec_id,right_spec_id,label` with 0/1 labels.
+//!
+//! Sources are derived from the spec-id prefix (the site domain before
+//! `//`) and entity identities from the label file's match components
+//! (connected components of the positive-pair graph), so generated and real
+//! corpora expose the same [`Domain`] API downstream.
+
+use adamel_schema::{Domain, EntityPair, Record, SourceId};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead};
+
+/// Splits one CSV line honoring quoted fields (same dialect as
+/// [`crate::csvio`]).
+fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes && chars.peek() == Some(&'"') => {
+                cur.push('"');
+                chars.next();
+            }
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut cur)),
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// The site-domain prefix of a DI2KG spec id (`www.ebay.com//123` →
+/// `www.ebay.com`).
+pub fn spec_source(spec_id: &str) -> &str {
+    spec_id.split("//").next().unwrap_or(spec_id)
+}
+
+/// A loaded DI2KG corpus: records addressable by spec id plus labeled pairs.
+pub struct Di2kgCorpus {
+    /// Records in load order.
+    pub records: Vec<Record>,
+    /// Source names in [`SourceId`] order.
+    pub sources: Vec<String>,
+    spec_to_record: BTreeMap<String, usize>,
+    labels: Vec<(String, String, bool)>,
+}
+
+impl Di2kgCorpus {
+    /// Loads the two CSV files (each with a header row).
+    pub fn load(records_csv: &mut impl BufRead, labels_csv: &mut impl BufRead) -> io::Result<Self> {
+        // Records: spec_id,attribute,value triples.
+        let mut source_ids: BTreeMap<String, u32> = BTreeMap::new();
+        let mut sources = Vec::new();
+        let mut spec_to_record: BTreeMap<String, usize> = BTreeMap::new();
+        let mut records: Vec<Record> = Vec::new();
+        for (ln, line) in records_csv.lines().enumerate() {
+            let line = line?;
+            if ln == 0 || line.trim().is_empty() {
+                continue;
+            }
+            let f = split_line(&line);
+            if f.len() != 3 {
+                return Err(bad(format!("records line {}: expected 3 fields", ln + 1)));
+            }
+            let (spec, attr, value) = (&f[0], &f[1], &f[2]);
+            let source = spec_source(spec).to_string();
+            let next_id = source_ids.len() as u32;
+            let sid = *source_ids.entry(source.clone()).or_insert_with(|| {
+                sources.push(source.clone());
+                next_id
+            });
+            let idx = *spec_to_record.entry(spec.clone()).or_insert_with(|| {
+                // entity_id is provisional; match components are assigned
+                // after the labels are read.
+                records.push(Record::new(SourceId(sid), u64::MAX));
+                records.len() - 1
+            });
+            records[idx].set(attr.clone(), value.clone());
+        }
+
+        // Labels: left,right,label.
+        let mut labels = Vec::new();
+        for (ln, line) in labels_csv.lines().enumerate() {
+            let line = line?;
+            if ln == 0 || line.trim().is_empty() {
+                continue;
+            }
+            let f = split_line(&line);
+            if f.len() != 3 {
+                return Err(bad(format!("labels line {}: expected 3 fields", ln + 1)));
+            }
+            let label = match f[2].trim() {
+                "1" => true,
+                "0" => false,
+                other => return Err(bad(format!("labels line {}: bad label {other}", ln + 1))),
+            };
+            labels.push((f[0].clone(), f[1].clone(), label));
+        }
+
+        let mut corpus = Self { records, sources, spec_to_record, labels };
+        corpus.assign_match_components();
+        Ok(corpus)
+    }
+
+    /// Union-find over positive pairs: records in the same match component
+    /// share an entity id, making [`EntityPair::ground_truth`] meaningful
+    /// for real data too.
+    fn assign_match_components(&mut self) {
+        let n = self.records.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (l, r, label) in &self.labels {
+            if !label {
+                continue;
+            }
+            if let (Some(&a), Some(&b)) = (self.spec_to_record.get(l), self.spec_to_record.get(r)) {
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                parent[ra] = rb;
+            }
+        }
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            self.records[i].entity_id = root as u64;
+        }
+    }
+
+    /// The record for a spec id, if present.
+    pub fn record(&self, spec_id: &str) -> Option<&Record> {
+        self.spec_to_record.get(spec_id).map(|&i| &self.records[i])
+    }
+
+    /// Number of labeled pairs.
+    pub fn num_labels(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Materializes the labeled pairs as a [`Domain`] (pairs whose spec ids
+    /// are missing from the records file are skipped, mirroring the paper's
+    /// filtering step; the skipped count is returned).
+    pub fn labeled_domain(&self) -> (Domain, usize) {
+        let mut pairs = Vec::new();
+        let mut skipped = 0;
+        for (l, r, label) in &self.labels {
+            match (self.record(l), self.record(r)) {
+                (Some(a), Some(b)) => {
+                    pairs.push(EntityPair::labeled(a.clone(), b.clone(), *label))
+                }
+                _ => skipped += 1,
+            }
+        }
+        (Domain::new(pairs), skipped)
+    }
+
+    /// Source ids for the given site domains (the paper's
+    /// `D_S* = {ebay.com, ...}` selection).
+    pub fn source_ids(&self, domains: &[&str]) -> Vec<u32> {
+        self.sources
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| domains.iter().any(|d| s.contains(d)))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    const RECORDS: &str = "\
+spec_id,attribute,value
+www.ebay.com//1,page_title,dell u2412m 24 monitor
+www.ebay.com//1,price,199
+www.catalog.com//7,page_title,dell u2412m 24 inch
+www.catalog.com//8,page_title,acer k222hql
+www.getprice.com//3,page_title,\"dell, u2412m\"
+";
+
+    const LABELS: &str = "\
+left_spec_id,right_spec_id,label
+www.ebay.com//1,www.catalog.com//7,1
+www.ebay.com//1,www.catalog.com//8,0
+www.catalog.com//7,www.getprice.com//3,1
+";
+
+    fn corpus() -> Di2kgCorpus {
+        Di2kgCorpus::load(
+            &mut BufReader::new(RECORDS.as_bytes()),
+            &mut BufReader::new(LABELS.as_bytes()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn loads_records_and_sources() {
+        let c = corpus();
+        assert_eq!(c.records.len(), 4);
+        assert_eq!(c.sources.len(), 3);
+        let r = c.record("www.ebay.com//1").unwrap();
+        assert_eq!(r.get("price"), Some("199"));
+        assert_eq!(r.get("page_title"), Some("dell u2412m 24 monitor"));
+    }
+
+    #[test]
+    fn quoted_values_survive() {
+        let c = corpus();
+        assert_eq!(c.record("www.getprice.com//3").unwrap().get("page_title"), Some("dell, u2412m"));
+    }
+
+    #[test]
+    fn match_components_are_transitive() {
+        let c = corpus();
+        // ebay//1 ~ catalog//7 ~ getprice//3 form one component.
+        let a = c.record("www.ebay.com//1").unwrap().entity_id;
+        let b = c.record("www.catalog.com//7").unwrap().entity_id;
+        let d = c.record("www.getprice.com//3").unwrap().entity_id;
+        let neg = c.record("www.catalog.com//8").unwrap().entity_id;
+        assert_eq!(a, b);
+        assert_eq!(b, d);
+        assert_ne!(a, neg);
+    }
+
+    #[test]
+    fn labeled_domain_matches_ground_truth() {
+        let c = corpus();
+        let (domain, skipped) = c.labeled_domain();
+        assert_eq!(skipped, 0);
+        assert_eq!(domain.len(), 3);
+        for p in &domain.pairs {
+            assert_eq!(p.label.unwrap(), p.ground_truth());
+        }
+    }
+
+    #[test]
+    fn source_selection_by_domain() {
+        let c = corpus();
+        let ids = c.source_ids(&["ebay.com", "getprice.com"]);
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn missing_spec_pairs_are_skipped() {
+        let labels = "h\nwww.ebay.com//1,www.nowhere.com//9,1\n";
+        let c = Di2kgCorpus::load(
+            &mut BufReader::new(RECORDS.as_bytes()),
+            &mut BufReader::new(labels.as_bytes()),
+        )
+        .unwrap();
+        let (domain, skipped) = c.labeled_domain();
+        assert_eq!(domain.len(), 0);
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn malformed_rows_error() {
+        let bad_records = "h\nonly,two\n";
+        assert!(Di2kgCorpus::load(
+            &mut BufReader::new(bad_records.as_bytes()),
+            &mut BufReader::new(LABELS.as_bytes()),
+        )
+        .is_err());
+        let bad_labels = "h\na,b,banana\n";
+        assert!(Di2kgCorpus::load(
+            &mut BufReader::new(RECORDS.as_bytes()),
+            &mut BufReader::new(bad_labels.as_bytes()),
+        )
+        .is_err());
+    }
+}

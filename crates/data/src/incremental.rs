@@ -1,0 +1,157 @@
+//! Incremental data-source streams for the stability experiment (Fig. 9).
+//!
+//! §5.5 fixes 1500 training pairs from the 5 seen sources, seeds the target
+//! domain with 200 pairs from each of 7 sources, and then grows `D_T*` by 2
+//! new sources (200 pairs each) per step, always ensuring new pairs touch
+//! the newly added sources.
+
+use crate::monitor::MonitorWorld;
+use crate::sampling::{filters, PairSampler};
+use adamel_schema::Domain;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One growth step of the target domain.
+pub struct IncrementalStep {
+    /// Number of sources now in `D_T*`.
+    pub num_sources: usize,
+    /// The cumulative target domain (unlabeled; ground truth retained).
+    pub target: Domain,
+}
+
+/// The full incremental experiment stream.
+pub struct IncrementalStream {
+    /// Fixed labeled training pairs from the seen sources.
+    pub train: Domain,
+    /// Fixed labeled support set drawn from all sources.
+    pub support: Domain,
+    /// Growing target domains.
+    pub steps: Vec<IncrementalStep>,
+}
+
+/// Builds the Fig. 9 stream over a monitor world.
+///
+/// * `train_pairs`: labeled pairs from the seen sources (paper: 1500).
+/// * `per_source_pairs`: pairs contributed by each target source (paper: 200).
+/// * `initial_sources`: size of the starting `D_T*` (paper: 7).
+/// * `sources_per_step`: growth per step (paper: 2).
+pub fn monitor_incremental(
+    world: &MonitorWorld,
+    train_pairs: usize,
+    support_size: usize,
+    per_source_pairs: usize,
+    initial_sources: usize,
+    sources_per_step: usize,
+    seed: u64,
+) -> IncrementalStream {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let records = world.records_for(None);
+    let sampler = PairSampler::new(&records, "page_title");
+    let seen = world.seen_sources();
+
+    // Fixed training set from the seen sources.
+    let train_filter = filters::both_in(seen.clone());
+    let mut train = sampler.positives(train_pairs / 2, &train_filter, &mut rng);
+    train.extend(sampler.negatives(train_pairs - train.len(), 0.6, &train_filter, &mut rng));
+    let train = Domain::new(train);
+
+    // Fixed support set from all sources.
+    let all = world.all_sources();
+    let support_filter = filters::both_in(all.clone());
+    let mut support = sampler.positives(support_size / 2, &support_filter, &mut rng);
+    support.extend(sampler.negatives(
+        support_size - support.len(),
+        0.6,
+        &support_filter,
+        &mut rng,
+    ));
+    let support = Domain::new(support);
+
+    // Growing target: start with `initial_sources`, add `sources_per_step`
+    // at a time; each step's new pairs touch the newly added sources.
+    let mut steps = Vec::new();
+    let mut cumulative = Domain::default();
+    let mut active: Vec<u32> = Vec::new();
+    let mut next = 0usize;
+    while next < all.len() {
+        let take = if active.is_empty() { initial_sources } else { sources_per_step };
+        let added: Vec<u32> = all[next..(next + take).min(all.len())].to_vec();
+        next += added.len();
+        active.extend(&added);
+
+        // New pairs must touch an added source (paper: "each of the newly
+        // added pairs contains at least one record from ΔD_T").
+        let added_filter = {
+            let added = added.clone();
+            let active = active.clone();
+            move |a: adamel_schema::SourceId, b: adamel_schema::SourceId| {
+                (added.contains(&a.0) || added.contains(&b.0))
+                    && active.contains(&a.0)
+                    && active.contains(&b.0)
+            }
+        };
+        let want = per_source_pairs * added.len();
+        let mut new_pairs = sampler.positives(want / 4, &added_filter, &mut rng);
+        new_pairs.extend(sampler.negatives(
+            want - new_pairs.len(),
+            0.6,
+            &added_filter,
+            &mut rng,
+        ));
+        for p in &mut new_pairs {
+            p.label = None;
+        }
+        cumulative.pairs.extend(new_pairs);
+        steps.push(IncrementalStep { num_sources: active.len(), target: cumulative.clone() });
+    }
+
+    IncrementalStream { train, support, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::MonitorConfig;
+
+    #[test]
+    fn stream_grows_monotonically() {
+        let world = MonitorWorld::generate(&MonitorConfig::tiny(), 4);
+        let stream = monitor_incremental(&world, 120, 30, 20, 4, 2, 1);
+        assert!(!stream.train.is_empty());
+        assert!(!stream.support.is_empty());
+        assert!(stream.steps.len() >= 2);
+        for w in stream.steps.windows(2) {
+            assert!(w[1].num_sources > w[0].num_sources);
+            assert!(w[1].target.len() >= w[0].target.len());
+        }
+    }
+
+    #[test]
+    fn train_is_confined_to_seen_sources() {
+        let world = MonitorWorld::generate(&MonitorConfig::tiny(), 4);
+        let stream = monitor_incremental(&world, 120, 30, 20, 4, 2, 1);
+        let seen = world.seen_sources();
+        for p in &stream.train.pairs {
+            assert!(seen.contains(&p.left.source.0) && seen.contains(&p.right.source.0));
+        }
+    }
+
+    #[test]
+    fn target_pairs_unlabeled_and_within_active_sources() {
+        let world = MonitorWorld::generate(&MonitorConfig::tiny(), 4);
+        let stream = monitor_incremental(&world, 120, 30, 20, 4, 2, 1);
+        let first = &stream.steps[0];
+        for p in &first.target.pairs {
+            assert!(p.label.is_none());
+            assert!((p.left.source.0 as usize) < first.num_sources);
+            assert!((p.right.source.0 as usize) < first.num_sources);
+        }
+    }
+
+    #[test]
+    fn final_step_covers_all_sources() {
+        let world = MonitorWorld::generate(&MonitorConfig::tiny(), 4);
+        let stream = monitor_incremental(&world, 120, 30, 20, 4, 2, 1);
+        assert_eq!(stream.steps.last().unwrap().num_sources, world.all_sources().len());
+    }
+}

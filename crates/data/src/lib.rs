@@ -1,0 +1,41 @@
+//! # adamel-data
+//!
+//! Synthetic multi-source entity-linkage corpora for the AdaMEL
+//! reproduction. The paper evaluates on two proprietary Amazon music crawls
+//! and the DI2KG Monitor challenge data; none can be shipped, so this crate
+//! generates worlds with the same statistical fingerprint (see DESIGN.md §2
+//! for the substitution argument):
+//!
+//! * [`music`] — 7 websites, artist/album/track entities, 9 attributes,
+//!   target-only attributes and abbreviated names in unseen sources;
+//! * [`monitor`] — 24 sales websites, 13 sparse attributes, 5 of them
+//!   target-only, heavily imbalanced pairs;
+//! * [`benchmark`] — single-domain stand-ins for the 11 Magellan datasets of
+//!   Table 7.
+//!
+//! Pair construction ([`sampling`]), experiment splits ([`splits`],
+//! [`incremental`]), weak labeling, data analysis ([`analysis`]) and CSV
+//! interchange ([`csvio`]) complete the data layer.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod benchmark;
+pub mod csvio;
+pub mod di2kg;
+pub mod incremental;
+pub mod monitor;
+pub mod music;
+pub mod names;
+pub mod sampling;
+pub mod splits;
+pub mod style;
+
+pub use benchmark::{benchmark_specs, generate_benchmark, BenchmarkData, BenchmarkSpec};
+pub use di2kg::Di2kgCorpus;
+pub use incremental::{monitor_incremental, IncrementalStep, IncrementalStream};
+pub use monitor::{MonitorConfig, MonitorWorld};
+pub use music::{EntityType, MusicConfig, MusicWorld};
+pub use sampling::PairSampler;
+pub use splits::{make_mel_split, weaken_labels, MelSplit, Scenario, SplitCounts};
+pub use style::{NameFormat, SourceStyle};

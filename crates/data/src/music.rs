@@ -1,0 +1,438 @@
+//! The synthetic multi-source music world (Music-3K / Music-1M substitute).
+//!
+//! The paper's music corpora are proprietary Amazon crawls of 7 public music
+//! websites with three entity types (artist, album, track) and 9 textual
+//! attributes. This generator builds a "world" of canonical music entities
+//! and renders each through per-website [`SourceStyle`]s, realizing the
+//! paper's three data challenges:
+//!
+//! * **C1** — styles drop attribute values at configurable rates;
+//! * **C2** — `gender` and `name_native_language` are only rendered by the
+//!   unseen (target) websites, never by the three seen ones;
+//! * **C3** — websites phrase categorical values differently (vocabulary
+//!   rotation) and the target websites abbreviate artist names, exactly the
+//!   paper's Fig. 1 example.
+
+use crate::names;
+use crate::style::{NameFormat, SourceStyle};
+use adamel_schema::{Record, Schema, SourceId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three music entity types of the paper's corpora.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EntityType {
+    /// A musical artist (person or band).
+    Artist,
+    /// A physical album release.
+    Album,
+    /// A digital track, possibly a remix/cover of another track.
+    Track,
+}
+
+impl EntityType {
+    /// All types, in the paper's reporting order.
+    pub const ALL: [EntityType; 3] = [EntityType::Artist, EntityType::Album, EntityType::Track];
+
+    /// Lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EntityType::Artist => "artist",
+            EntityType::Album => "album",
+            EntityType::Track => "track",
+        }
+    }
+}
+
+/// A canonical music entity before any website renders it.
+#[derive(Debug, Clone)]
+pub struct MusicEntity {
+    /// Globally unique identity; pairs of renderings of the same id match.
+    pub id: u64,
+    /// Entity type.
+    pub etype: EntityType,
+    /// Canonical performer name.
+    pub performer: String,
+    /// Canonical title (artist: the performer name; album/track: the work).
+    pub title: String,
+    /// Parent album title (tracks), own title (albums), empty (artists).
+    pub album: String,
+    /// Genre term index into [`names::GENRES`].
+    pub genre: usize,
+    /// Country index into [`names::COUNTRIES`].
+    pub country: usize,
+    /// Performer gender ("m"/"f") — only unseen sources render it (C2).
+    pub gender: &'static str,
+    /// Version tag index for tracks (into [`names::VERSION_TAGS`]).
+    pub version: Option<usize>,
+}
+
+/// Size knobs for the generated world.
+#[derive(Debug, Clone)]
+pub struct MusicConfig {
+    /// Number of artists.
+    pub num_artists: usize,
+    /// Albums per artist.
+    pub albums_per_artist: usize,
+    /// Tracks per album.
+    pub tracks_per_album: usize,
+    /// Number of websites (the paper uses 7).
+    pub num_sources: usize,
+    /// Probability a given website carries a given entity.
+    pub coverage: f64,
+}
+
+impl Default for MusicConfig {
+    fn default() -> Self {
+        Self {
+            num_artists: 120,
+            albums_per_artist: 2,
+            tracks_per_album: 2,
+            num_sources: 7,
+            coverage: 0.85,
+        }
+    }
+}
+
+impl MusicConfig {
+    /// A small world for unit tests.
+    pub fn tiny() -> Self {
+        Self { num_artists: 25, albums_per_artist: 1, tracks_per_album: 1, ..Self::default() }
+    }
+}
+
+/// The generated world: canonical entities plus per-source rendered records.
+pub struct MusicWorld {
+    /// Canonical entities.
+    pub entities: Vec<MusicEntity>,
+    /// Per-source rendering styles, indexed by `SourceId.0`.
+    pub styles: Vec<SourceStyle>,
+    /// All rendered records.
+    pub records: Vec<Record>,
+    /// The aligned 9-attribute schema.
+    schema: Schema,
+}
+
+/// The 9 music attributes (paper: "manual annotation is based on 9
+/// attributes such as the artist name and album title").
+pub const MUSIC_ATTRIBUTES: [&str; 9] = [
+    "name",
+    "main_performer",
+    "name_native_language",
+    "title",
+    "album",
+    "source",
+    "genre",
+    "country",
+    "gender",
+];
+
+impl MusicWorld {
+    /// Generates the world deterministically from a seed.
+    pub fn generate(cfg: &MusicConfig, seed: u64) -> Self {
+        assert!(cfg.num_sources >= 4, "music world needs >= 4 sources (3 seen + >=1 unseen)");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut entities = Vec::new();
+        let mut next_id = 0u64;
+
+        for _ in 0..cfg.num_artists {
+            let performer = names::person_name(&mut rng);
+            let genre = rng.gen_range(0..names::GENRES.len());
+            let country = rng.gen_range(0..names::COUNTRIES.len());
+            let gender = if rng.gen_bool(0.5) { "m" } else { "f" };
+            let artist_id = next_id;
+            next_id += 1;
+            entities.push(MusicEntity {
+                id: artist_id,
+                etype: EntityType::Artist,
+                performer: performer.clone(),
+                title: performer.clone(),
+                album: String::new(),
+                genre,
+                country,
+                gender,
+                version: None,
+            });
+            for _ in 0..cfg.albums_per_artist {
+                let album_title = names::title(&mut rng);
+                let album_id = next_id;
+                next_id += 1;
+                entities.push(MusicEntity {
+                    id: album_id,
+                    etype: EntityType::Album,
+                    performer: performer.clone(),
+                    title: album_title.clone(),
+                    album: album_title.clone(),
+                    genre,
+                    country,
+                    gender,
+                    version: None,
+                });
+                for _ in 0..cfg.tracks_per_album {
+                    let track_title = names::title(&mut rng);
+                    let version = rng.gen_range(0..names::VERSION_TAGS.len());
+                    entities.push(MusicEntity {
+                        id: next_id,
+                        etype: EntityType::Track,
+                        performer: performer.clone(),
+                        title: track_title,
+                        album: album_title.clone(),
+                        genre,
+                        country,
+                        gender,
+                        version: Some(version),
+                    });
+                    next_id += 1;
+                }
+            }
+        }
+
+        let styles = default_styles(cfg.num_sources);
+        let mut records = Vec::new();
+        for entity in &entities {
+            for (sidx, style) in styles.iter().enumerate() {
+                if rng.gen_bool(cfg.coverage) {
+                    records.push(render(entity, SourceId(sidx as u32), style, &mut rng));
+                }
+            }
+        }
+
+        let schema = Schema::new(MUSIC_ATTRIBUTES.iter().map(|s| s.to_string()).collect());
+        Self { entities, styles, records, schema }
+    }
+
+    /// The aligned music schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Entity type of a record (looked up through its ground-truth id).
+    pub fn entity_type(&self, record: &Record) -> EntityType {
+        self.entities[record.entity_id as usize].etype
+    }
+
+    /// Records of one entity type, optionally restricted to given sources.
+    pub fn records_of(&self, etype: EntityType, sources: Option<&[u32]>) -> Vec<Record> {
+        self.records
+            .iter()
+            .filter(|r| self.entities[r.entity_id as usize].etype == etype)
+            .filter(|r| sources.is_none_or(|s| s.contains(&r.source.0)))
+            .cloned()
+            .collect()
+    }
+}
+
+/// The default 7-website style roster: websites 0–2 (the seen sources) are
+/// clean and complete; websites 3+ (unseen) abbreviate names, use native
+/// spellings, drop more values, and are the only ones rendering `gender`
+/// and `name_native_language`.
+pub fn default_styles(num_sources: usize) -> Vec<SourceStyle> {
+    let mut styles = Vec::with_capacity(num_sources);
+    for i in 0..num_sources {
+        let name = format!("website{}", i + 1);
+        let style = if i < 3 {
+            SourceStyle::clean(name)
+                .never_rendering(&["gender", "name_native_language"])
+                .with_vocab_shift(0)
+                .with_missing("album", 0.15)
+        } else {
+            // Each unseen website renders names in its own format, so
+            // cross-website positives in the disjoint scenario rarely share
+            // name tokens — the paper's Fig. 1 abbreviation story.
+            let fmt = match i % 4 {
+                0 => NameFormat::Abbreviated,
+                1 => NameFormat::Native,
+                2 => NameFormat::LastFirst,
+                _ => NameFormat::SurnameOnly,
+            };
+            SourceStyle::clean(name)
+                .with_name_format(fmt)
+                .with_default_missing(0.18)
+                .with_missing("main_performer", 0.5)
+                .with_missing("country", 0.45)
+                .with_vocab_shift(i)
+                .with_typo_rate(0.08)
+                .with_filler_rate(0.45)
+        };
+        styles.push(style);
+    }
+    styles
+}
+
+/// Renders one canonical entity through a website style.
+pub fn render(entity: &MusicEntity, source: SourceId, style: &SourceStyle, rng: &mut StdRng) -> Record {
+    let mut r = Record::new(source, entity.id);
+
+    let fmt_name = |name: &str| -> String {
+        match style.name_format {
+            NameFormat::Full => name.to_string(),
+            NameFormat::Abbreviated => names::abbreviate(name),
+            NameFormat::Native => names::nativeize(name),
+            NameFormat::LastFirst => {
+                let mut parts: Vec<&str> = name.split_whitespace().collect();
+                if parts.len() >= 2 {
+                    let last = parts.pop().unwrap();
+                    format!("{}, {}", last, parts.join(" "))
+                } else {
+                    name.to_string()
+                }
+            }
+            NameFormat::SurnameOnly => {
+                name.split_whitespace().last().unwrap_or(name).to_string()
+            }
+        }
+    };
+
+    let genre_phrase = phrase_rotation(names::GENRES[entity.genre], style.vocab_shift);
+    let version_suffix = entity
+        .version
+        .map(|v| format!(" ({})", names::VERSION_TAGS[v]))
+        .unwrap_or_default();
+    let display_title = match entity.etype {
+        EntityType::Artist => fmt_name(&entity.performer),
+        EntityType::Album => entity.title.clone(),
+        EntityType::Track => format!("{}{}", entity.title, version_suffix),
+    };
+
+    let set_attr = |record: &mut Record, attr: &str, value: String, rng: &mut StdRng| {
+        if value.is_empty() {
+            return;
+        }
+        if rng.gen_bool(style.missing_rate(attr).min(1.0)) {
+            return;
+        }
+        let mut v = names::maybe_typo(&value, style.typo_rate, rng);
+        if rng.gen_bool(style.filler_rate) {
+            v.push_str(" official page");
+        }
+        record.set(attr, v);
+    };
+
+    set_attr(&mut r, "name", display_title.clone(), rng);
+    set_attr(&mut r, "main_performer", fmt_name(&entity.performer), rng);
+    // The native-language name derives from the *canonical* name, not the
+    // site's display format: it is the attribute that stays informative in
+    // the target domain while being absent from every seen source (C2).
+    let canonical = match entity.etype {
+        EntityType::Artist => entity.performer.clone(),
+        _ => entity.title.clone(),
+    };
+    set_attr(&mut r, "name_native_language", names::nativeize(&canonical), rng);
+    let title_value = match entity.etype {
+        EntityType::Artist => String::new(),
+        _ => display_title,
+    };
+    set_attr(&mut r, "title", title_value, rng);
+    set_attr(&mut r, "album", entity.album.clone(), rng);
+    set_attr(&mut r, "genre", genre_phrase, rng);
+    set_attr(&mut r, "country", names::COUNTRIES[entity.country].to_string(), rng);
+    set_attr(&mut r, "gender", entity.gender.to_string(), rng);
+    // `source` is always present: every page knows its own site.
+    r.set("source", style.name.clone());
+    r
+}
+
+/// Phrases a categorical term differently per vocabulary shift — the C3
+/// distribution rotation ("rock" / "rock music" / "music rock style" ...).
+pub fn phrase_rotation(term: &str, shift: usize) -> String {
+    match shift % 4 {
+        0 => term.to_string(),
+        1 => format!("{term} music"),
+        2 => format!("music {term} style"),
+        _ => format!("{term} genre"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> MusicWorld {
+        MusicWorld::generate(&MusicConfig::tiny(), 7)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = world();
+        let b = world();
+        assert_eq!(a.entities.len(), b.entities.len());
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.records[0].values, b.records[0].values);
+    }
+
+    #[test]
+    fn entity_counts_follow_config() {
+        let cfg = MusicConfig { num_artists: 10, albums_per_artist: 2, tracks_per_album: 3, ..MusicConfig::default() };
+        let w = MusicWorld::generate(&cfg, 1);
+        let artists = w.entities.iter().filter(|e| e.etype == EntityType::Artist).count();
+        let albums = w.entities.iter().filter(|e| e.etype == EntityType::Album).count();
+        let tracks = w.entities.iter().filter(|e| e.etype == EntityType::Track).count();
+        assert_eq!(artists, 10);
+        assert_eq!(albums, 20);
+        assert_eq!(tracks, 60);
+    }
+
+    #[test]
+    fn seen_sources_never_render_gender_c2() {
+        let w = world();
+        for r in &w.records {
+            if r.source.0 < 3 {
+                assert!(r.is_missing("gender"), "seen source rendered gender: {:?}", r.values);
+                assert!(r.is_missing("name_native_language"));
+            }
+        }
+        // ...but some unseen-source record does carry gender.
+        assert!(w.records.iter().any(|r| r.source.0 >= 3 && !r.is_missing("gender")));
+    }
+
+    #[test]
+    fn unseen_sources_abbreviate_names_c3() {
+        let w = world();
+        // Website 5 (index 4, 4 % 4 == 0) abbreviates: its names contain
+        // periods in raw form.
+        let abbreviated = w
+            .records
+            .iter()
+            .filter(|r| r.source.0 == 4)
+            .filter_map(|r| r.get("main_performer"))
+            .filter(|v| v.contains('.'))
+            .count();
+        assert!(abbreviated > 0, "website 5 should abbreviate performer names");
+    }
+
+    #[test]
+    fn source_attribute_always_present() {
+        let w = world();
+        for r in &w.records {
+            assert!(!r.is_missing("source"));
+        }
+    }
+
+    #[test]
+    fn schema_is_the_nine_music_attributes() {
+        let w = world();
+        assert_eq!(w.schema().len(), 9);
+        assert!(w.schema().index_of("gender").is_some());
+    }
+
+    #[test]
+    fn records_of_filters_by_type_and_source() {
+        let w = world();
+        let artists = w.records_of(EntityType::Artist, Some(&[0, 1, 2]));
+        assert!(!artists.is_empty());
+        for r in &artists {
+            assert!(r.source.0 < 3);
+            assert_eq!(w.entity_type(r), EntityType::Artist);
+        }
+    }
+
+    #[test]
+    fn phrase_rotation_varies() {
+        let p0 = phrase_rotation("rock", 0);
+        let p1 = phrase_rotation("rock", 1);
+        let p2 = phrase_rotation("rock", 2);
+        assert_ne!(p0, p1);
+        assert_ne!(p1, p2);
+        assert!(p1.contains("rock"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Entity-pair sampling with token blocking.
+//!
+//! Real EL pipelines never score the full cross product; candidate pairs are
+//! produced by *blocking* — grouping records that share a key token — and
+//! labeled pairs are sampled from those candidates. This module provides a
+//! [`PairSampler`] that generates positive pairs (two renderings of the same
+//! entity from different sources) and negative pairs (distinct entities,
+//! with a configurable fraction of *hard* negatives sharing a blocking
+//! token).
+
+use adamel_schema::{EntityPair, Record, SourceId};
+use adamel_text::tokenize;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::{BTreeMap, HashSet};
+
+/// Sampler over a pool of rendered records.
+pub struct PairSampler<'a> {
+    records: &'a [Record],
+    by_entity: BTreeMap<u64, Vec<usize>>,
+    blocks: BTreeMap<String, Vec<usize>>,
+}
+
+impl<'a> PairSampler<'a> {
+    /// Indexes `records`, blocking on tokens of `block_attr` (e.g. `name` or
+    /// `page_title`).
+    pub fn new(records: &'a [Record], block_attr: &str) -> Self {
+        let mut by_entity: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        let mut blocks: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, r) in records.iter().enumerate() {
+            by_entity.entry(r.entity_id).or_default().push(i);
+            if let Some(v) = r.get(block_attr) {
+                for t in tokenize(v) {
+                    blocks.entry(t).or_default().push(i);
+                }
+            }
+        }
+        Self { records, by_entity, blocks }
+    }
+
+    /// The underlying record pool.
+    pub fn records(&self) -> &[Record] {
+        self.records
+    }
+
+    /// Samples up to `n` positive pairs (same entity, different record;
+    /// `filter` restricts the admissible source combinations).
+    pub fn positives(
+        &self,
+        n: usize,
+        filter: impl Fn(SourceId, SourceId) -> bool,
+        rng: &mut StdRng,
+    ) -> Vec<EntityPair> {
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for indices in self.by_entity.values() {
+            for (a_pos, &a) in indices.iter().enumerate() {
+                for &b in &indices[a_pos + 1..] {
+                    let (ra, rb) = (&self.records[a], &self.records[b]);
+                    if ra.source != rb.source && filter(ra.source, rb.source) {
+                        candidates.push((a, b));
+                    }
+                }
+            }
+        }
+        sample_pairs(self.records, &mut candidates, n, true, rng)
+    }
+
+    /// Samples up to `n` negative pairs; `hard_fraction` of them share a
+    /// blocking token (near-miss negatives), the rest are random.
+    pub fn negatives(
+        &self,
+        n: usize,
+        hard_fraction: f64,
+        filter: impl Fn(SourceId, SourceId) -> bool,
+        rng: &mut StdRng,
+    ) -> Vec<EntityPair> {
+        let n_hard = (n as f64 * hard_fraction).round() as usize;
+        let mut out = Vec::with_capacity(n);
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
+
+        // Hard negatives from blocks.
+        let block_keys: Vec<&String> = self.blocks.keys().collect();
+        let mut attempts = 0;
+        while out.len() < n_hard && attempts < n_hard * 200 && !block_keys.is_empty() {
+            attempts += 1;
+            let key = block_keys[rng.gen_range(0..block_keys.len())];
+            let members = &self.blocks[key];
+            if members.len() < 2 {
+                continue;
+            }
+            let a = members[rng.gen_range(0..members.len())];
+            let b = members[rng.gen_range(0..members.len())];
+            if self.admissible_negative(a, b, &filter, &mut seen) {
+                out.push(EntityPair::labeled(
+                    self.records[a].clone(),
+                    self.records[b].clone(),
+                    false,
+                ));
+            }
+        }
+
+        // Random negatives for the remainder.
+        let mut attempts = 0;
+        while out.len() < n && attempts < n * 200 && self.records.len() >= 2 {
+            attempts += 1;
+            let a = rng.gen_range(0..self.records.len());
+            let b = rng.gen_range(0..self.records.len());
+            if self.admissible_negative(a, b, &filter, &mut seen) {
+                out.push(EntityPair::labeled(
+                    self.records[a].clone(),
+                    self.records[b].clone(),
+                    false,
+                ));
+            }
+        }
+        out
+    }
+
+    fn admissible_negative(
+        &self,
+        a: usize,
+        b: usize,
+        filter: &impl Fn(SourceId, SourceId) -> bool,
+        seen: &mut HashSet<(usize, usize)>,
+    ) -> bool {
+        if a == b {
+            return false;
+        }
+        let (ra, rb) = (&self.records[a], &self.records[b]);
+        // Negatives are cross-source like positives: MEL links records
+        // *across* sources, and same-source negatives would let models read
+        // the label off the shared `source` attribute.
+        if ra.entity_id == rb.entity_id
+            || ra.source == rb.source
+            || !filter(ra.source, rb.source)
+        {
+            return false;
+        }
+        seen.insert((a.min(b), a.max(b)))
+    }
+}
+
+fn sample_pairs(
+    records: &[Record],
+    candidates: &mut [(usize, usize)],
+    n: usize,
+    positive: bool,
+    rng: &mut StdRng,
+) -> Vec<EntityPair> {
+    // Deterministic shuffle-then-take; candidates were built in index order.
+    for i in (1..candidates.len()).rev() {
+        candidates.swap(i, rng.gen_range(0..=i));
+    }
+    candidates
+        .iter()
+        .take(n)
+        .map(|&(a, b)| EntityPair::labeled(records[a].clone(), records[b].clone(), positive))
+        .collect()
+}
+
+/// Source-combination filters for the paper's scenarios.
+pub mod filters {
+    use adamel_schema::SourceId;
+
+    /// Both records from the seen set — `D_S` pairs.
+    pub fn both_in(allowed: Vec<u32>) -> impl Fn(SourceId, SourceId) -> bool {
+        move |a, b| allowed.contains(&a.0) && allowed.contains(&b.0)
+    }
+
+    /// At least one record from `unseen` — the target-domain membership test
+    /// (Definition 3.1); used for the overlapping scenario `S1`.
+    pub fn touches(unseen: Vec<u32>) -> impl Fn(SourceId, SourceId) -> bool {
+        move |a, b| unseen.contains(&a.0) || unseen.contains(&b.0)
+    }
+
+    /// Both records from `unseen` — the disjoint scenario `S2`
+    /// (`D_T* x D_T*`).
+    pub fn both_unseen(unseen: Vec<u32>) -> impl Fn(SourceId, SourceId) -> bool {
+        move |a, b| unseen.contains(&a.0) && unseen.contains(&b.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::music::{MusicConfig, MusicWorld};
+    use rand::SeedableRng;
+
+    fn sampler_fixture() -> (MusicWorld, &'static str) {
+        (MusicWorld::generate(&MusicConfig::tiny(), 11), "name")
+    }
+
+    #[test]
+    fn positives_are_same_entity_cross_source() {
+        let (w, attr) = sampler_fixture();
+        let s = PairSampler::new(&w.records, attr);
+        let mut rng = StdRng::seed_from_u64(0);
+        let pos = s.positives(30, |_, _| true, &mut rng);
+        assert!(!pos.is_empty());
+        for p in &pos {
+            assert_eq!(p.left.entity_id, p.right.entity_id);
+            assert_ne!(p.left.source, p.right.source);
+            assert_eq!(p.label, Some(true));
+        }
+    }
+
+    #[test]
+    fn negatives_are_distinct_entities() {
+        let (w, attr) = sampler_fixture();
+        let s = PairSampler::new(&w.records, attr);
+        let mut rng = StdRng::seed_from_u64(0);
+        let neg = s.negatives(30, 0.5, |_, _| true, &mut rng);
+        assert_eq!(neg.len(), 30);
+        for p in &neg {
+            assert_ne!(p.left.entity_id, p.right.entity_id);
+            assert_eq!(p.label, Some(false));
+        }
+    }
+
+    #[test]
+    fn filters_respected() {
+        let (w, attr) = sampler_fixture();
+        let s = PairSampler::new(&w.records, attr);
+        let mut rng = StdRng::seed_from_u64(0);
+        let seen = vec![0u32, 1, 2];
+        let pos = s.positives(50, filters::both_in(seen.clone()), &mut rng);
+        for p in &pos {
+            assert!(seen.contains(&p.left.source.0));
+            assert!(seen.contains(&p.right.source.0));
+        }
+        let unseen = vec![3u32, 4, 5, 6];
+        let neg = s.negatives(20, 0.5, filters::both_unseen(unseen.clone()), &mut rng);
+        for p in &neg {
+            assert!(unseen.contains(&p.left.source.0));
+            assert!(unseen.contains(&p.right.source.0));
+        }
+    }
+
+    #[test]
+    fn touches_filter_requires_one_unseen() {
+        let f = filters::touches(vec![9]);
+        assert!(f(SourceId(9), SourceId(0)));
+        assert!(f(SourceId(0), SourceId(9)));
+        assert!(!f(SourceId(0), SourceId(1)));
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let (w, attr) = sampler_fixture();
+        let s = PairSampler::new(&w.records, attr);
+        let a = s.positives(10, |_, _| true, &mut StdRng::seed_from_u64(5));
+        let b = s.positives(10, |_, _| true, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.left.entity_id, y.left.entity_id);
+            assert_eq!(x.right.source, y.right.source);
+        }
+    }
+
+    #[test]
+    fn hard_negatives_share_block_tokens() {
+        let (w, attr) = sampler_fixture();
+        let s = PairSampler::new(&w.records, attr);
+        let mut rng = StdRng::seed_from_u64(2);
+        let neg = s.negatives(40, 1.0, |_, _| true, &mut rng);
+        // At least a reasonable share of fully-hard negatives must actually
+        // share a name token.
+        let sharing = neg
+            .iter()
+            .filter(|p| {
+                let a = p.left.get("name").map(tokenize).unwrap_or_default();
+                let b = p.right.get("name").map(tokenize).unwrap_or_default();
+                a.iter().any(|t| b.contains(t))
+            })
+            .count();
+        assert!(sharing * 2 >= neg.len(), "only {sharing}/{} hard negatives share tokens", neg.len());
+    }
+}

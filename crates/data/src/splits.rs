@@ -1,0 +1,268 @@
+//! MEL experiment splits: source domain `D_S`, support set `S_U`, and target
+//! domain `D_T` under the paper's two scenarios (§5.2).
+
+use crate::sampling::{filters, PairSampler};
+use adamel_schema::{Domain, EntityPair, Record};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The two evaluation scenarios of §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Scenario {
+    /// S1: target pairs may mix seen and unseen sources
+    /// (`(r,r')_T ∈ D_S* x D_T*`).
+    Overlapping,
+    /// S2: target pairs are entirely within unseen sources
+    /// (`(r,r')_T ∈ D_T* x D_T*`).
+    Disjoint,
+}
+
+impl Scenario {
+    /// Reporting name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Overlapping => "overlapping",
+            Scenario::Disjoint => "disjoint",
+        }
+    }
+}
+
+/// How many pairs to draw for each split.
+#[derive(Debug, Clone)]
+pub struct SplitCounts {
+    /// Labeled training positives in `D_S`.
+    pub train_pos: usize,
+    /// Labeled training negatives in `D_S`.
+    pub train_neg: usize,
+    /// Support-set positives (paper: 50).
+    pub support_pos: usize,
+    /// Support-set negatives (paper: 50).
+    pub support_neg: usize,
+    /// Test positives.
+    pub test_pos: usize,
+    /// Test negatives.
+    pub test_neg: usize,
+    /// Fraction of negatives sharing a blocking token.
+    pub hard_negative_fraction: f64,
+}
+
+impl Default for SplitCounts {
+    fn default() -> Self {
+        Self {
+            train_pos: 150,
+            train_neg: 150,
+            support_pos: 50,
+            support_neg: 50,
+            test_pos: 120,
+            test_neg: 120,
+            hard_negative_fraction: 0.5,
+        }
+    }
+}
+
+impl SplitCounts {
+    /// A reduced configuration for unit/integration tests.
+    pub fn tiny() -> Self {
+        Self {
+            train_pos: 40,
+            train_neg: 40,
+            support_pos: 15,
+            support_neg: 15,
+            test_pos: 30,
+            test_neg: 30,
+            hard_negative_fraction: 0.5,
+        }
+    }
+
+    /// The Monitor-style imbalanced test: all positives plus a fixed pool of
+    /// negatives (paper: all remaining 432 positives + 1000 negatives).
+    pub fn imbalanced(test_neg: usize) -> Self {
+        Self { test_neg, hard_negative_fraction: 0.7, ..Self::default() }
+    }
+}
+
+/// A complete MEL split.
+#[derive(Debug, Clone)]
+pub struct MelSplit {
+    /// Labeled source-domain training pairs.
+    pub train: Domain,
+    /// Small labeled support set from the target source range.
+    pub support: Domain,
+    /// Target-domain pairs; labels stripped (ground truth retained in
+    /// `entity_id` for evaluation).
+    pub test: Domain,
+}
+
+/// Builds a MEL split over a record pool.
+///
+/// `seen` are the source ids of `D_S*`; `unseen` the ids new in `D_T*`.
+/// Under [`Scenario::Overlapping`] target pairs touch any source but must
+/// include data reachable from the full roster; under [`Scenario::Disjoint`]
+/// both records come from unseen sources.
+pub fn make_mel_split(
+    records: &[Record],
+    block_attr: &str,
+    seen: &[u32],
+    unseen: &[u32],
+    scenario: Scenario,
+    counts: &SplitCounts,
+    seed: u64,
+) -> MelSplit {
+    let sampler = PairSampler::new(records, block_attr);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let train_filter = filters::both_in(seen.to_vec());
+    let mut train = sampler.positives(counts.train_pos, &train_filter, &mut rng);
+    train.extend(sampler.negatives(
+        counts.train_neg,
+        counts.hard_negative_fraction,
+        &train_filter,
+        &mut rng,
+    ));
+
+    // Target membership per scenario. The support set is drawn from the same
+    // range of sources as D_T (Definition 3.2).
+    let make_target: Box<dyn Fn(adamel_schema::SourceId, adamel_schema::SourceId) -> bool> =
+        match scenario {
+            Scenario::Overlapping => Box::new(filters::touches(unseen.to_vec())),
+            Scenario::Disjoint => Box::new(filters::both_unseen(unseen.to_vec())),
+        };
+
+    let mut support = sampler.positives(counts.support_pos, &make_target, &mut rng);
+    support.extend(sampler.negatives(
+        counts.support_neg,
+        counts.hard_negative_fraction,
+        &make_target,
+        &mut rng,
+    ));
+
+    let mut test: Vec<EntityPair> = sampler
+        .positives(counts.test_pos, &make_target, &mut rng)
+        .into_iter()
+        .chain(sampler.negatives(
+            counts.test_neg,
+            counts.hard_negative_fraction,
+            &make_target,
+            &mut rng,
+        ))
+        .collect();
+    // Strip labels: the target domain is unlabeled (G1); evaluation uses
+    // ground-truth entity ids.
+    for p in &mut test {
+        p.label = None;
+    }
+
+    MelSplit {
+        train: Domain::new(train),
+        support: Domain::new(support),
+        test: Domain::new(test),
+    }
+}
+
+/// Applies weak "hyperlink" labeling noise to a labeled domain — the
+/// Music-1M construction, where labels follow website hyperlinks and can
+/// connect an artist to her album (mixed-type errors) or miss version
+/// distinctions.
+///
+/// With probability `flip_rate` a pair's label is corrupted. Returns the
+/// number of corrupted labels.
+pub fn weaken_labels(domain: &mut Domain, flip_rate: f64, seed: u64) -> usize {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut flipped = 0;
+    for p in &mut domain.pairs {
+        if let Some(l) = p.label {
+            if rng.gen_bool(flip_rate) {
+                p.label = Some(!l);
+                flipped += 1;
+            }
+        }
+    }
+    flipped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::music::{EntityType, MusicConfig, MusicWorld};
+
+    fn fixture() -> (Vec<Record>, Vec<u32>, Vec<u32>) {
+        let w = MusicWorld::generate(&MusicConfig::tiny(), 21);
+        let records = w.records_of(EntityType::Artist, None);
+        (records, vec![0, 1, 2], vec![3, 4, 5, 6])
+    }
+
+    #[test]
+    fn split_structure_overlapping() {
+        let (records, seen, unseen) = fixture();
+        let split = make_mel_split(
+            &records,
+            "name",
+            &seen,
+            &unseen,
+            Scenario::Overlapping,
+            &SplitCounts::tiny(),
+            1,
+        );
+        assert!(!split.train.is_empty());
+        assert!(!split.support.is_empty());
+        assert!(!split.test.is_empty());
+        // Train pairs stay inside seen sources.
+        for p in &split.train.pairs {
+            assert!(seen.contains(&p.left.source.0) && seen.contains(&p.right.source.0));
+        }
+        // Test pairs are unlabeled and touch an unseen source.
+        for p in &split.test.pairs {
+            assert!(p.label.is_none());
+            assert!(unseen.contains(&p.left.source.0) || unseen.contains(&p.right.source.0));
+        }
+    }
+
+    #[test]
+    fn split_structure_disjoint() {
+        let (records, seen, unseen) = fixture();
+        let split = make_mel_split(
+            &records,
+            "name",
+            &seen,
+            &unseen,
+            Scenario::Disjoint,
+            &SplitCounts::tiny(),
+            1,
+        );
+        for p in &split.test.pairs {
+            assert!(unseen.contains(&p.left.source.0) && unseen.contains(&p.right.source.0));
+        }
+        for p in &split.support.pairs {
+            assert!(unseen.contains(&p.left.source.0) && unseen.contains(&p.right.source.0));
+            assert!(p.label.is_some());
+        }
+    }
+
+    #[test]
+    fn split_deterministic() {
+        let (records, seen, unseen) = fixture();
+        let a = make_mel_split(&records, "name", &seen, &unseen, Scenario::Overlapping, &SplitCounts::tiny(), 9);
+        let b = make_mel_split(&records, "name", &seen, &unseen, Scenario::Overlapping, &SplitCounts::tiny(), 9);
+        assert_eq!(a.train.len(), b.train.len());
+        assert_eq!(a.test.ground_truth(), b.test.ground_truth());
+    }
+
+    #[test]
+    fn weak_labels_flip_expected_share() {
+        let (records, seen, unseen) = fixture();
+        let mut split = make_mel_split(&records, "name", &seen, &unseen, Scenario::Overlapping, &SplitCounts::tiny(), 3);
+        let n = split.train.len();
+        let flipped = weaken_labels(&mut split.train, 0.3, 5);
+        assert!(flipped > 0 && flipped < n);
+        let frac = flipped as f64 / n as f64;
+        assert!((0.1..0.5).contains(&frac), "flip fraction {frac}");
+    }
+
+    #[test]
+    fn weak_labels_zero_rate_is_noop() {
+        let (records, seen, unseen) = fixture();
+        let mut split = make_mel_split(&records, "name", &seen, &unseen, Scenario::Overlapping, &SplitCounts::tiny(), 3);
+        assert_eq!(weaken_labels(&mut split.train, 0.0, 5), 0);
+    }
+}

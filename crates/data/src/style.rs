@@ -1,0 +1,144 @@
+//! Per-data-source rendering styles.
+//!
+//! A [`SourceStyle`] describes how one website renders entity attributes:
+//! which attributes it omits (C1), which it is the only kind of source to
+//! carry (C2), how it formats names and categorical values (C3), and how
+//! noisy it is. Styles are what make the same underlying entity look
+//! different across sources — the whole difficulty of MEL.
+
+use std::collections::BTreeMap;
+
+/// How a source renders person-name attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameFormat {
+    /// Full name as-is ("Paul McCartney").
+    Full,
+    /// Initials only ("P. M.") — the paper's Fig. 1 example of an
+    /// uninformative target-source rendering.
+    Abbreviated,
+    /// Diacritic-decorated native-language form.
+    Native,
+    /// "Last, First" reordering.
+    LastFirst,
+    /// Surname only ("McCartney") — common on chart/agency sites.
+    SurnameOnly,
+}
+
+/// The rendering profile of one data source.
+#[derive(Debug, Clone)]
+pub struct SourceStyle {
+    /// Human-readable source name (also rendered into the `source`
+    /// attribute, which the paper's Table 4 shows carries signal).
+    pub name: String,
+    /// Name rendering format.
+    pub name_format: NameFormat,
+    /// Per-attribute probability of dropping the value (C1). Attributes not
+    /// listed use `default_missing_rate`.
+    pub missing_rates: BTreeMap<String, f64>,
+    /// Fallback missing rate.
+    pub default_missing_rate: f64,
+    /// Attributes this source *never* renders; if an attribute is absent
+    /// from every seen source but present in unseen ones, that realizes C2.
+    pub never_renders: Vec<String>,
+    /// Probability of a single-character typo per value.
+    pub typo_rate: f64,
+    /// Index into the categorical vocabulary rotation: sources with
+    /// different offsets prefer different synonyms / head tokens (C3).
+    pub vocab_shift: usize,
+    /// Probability of appending decorative filler tokens to long text
+    /// attributes (simulates boilerplate-laden pages).
+    pub filler_rate: f64,
+}
+
+impl SourceStyle {
+    /// A clean, complete style — typical of curated seen sources.
+    pub fn clean(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            name_format: NameFormat::Full,
+            missing_rates: BTreeMap::new(),
+            default_missing_rate: 0.02,
+            never_renders: Vec::new(),
+            typo_rate: 0.01,
+            vocab_shift: 0,
+            filler_rate: 0.05,
+        }
+    }
+
+    /// Sets the name format.
+    pub fn with_name_format(mut self, f: NameFormat) -> Self {
+        self.name_format = f;
+        self
+    }
+
+    /// Sets the fallback missing rate.
+    pub fn with_default_missing(mut self, rate: f64) -> Self {
+        self.default_missing_rate = rate;
+        self
+    }
+
+    /// Sets a per-attribute missing rate.
+    pub fn with_missing(mut self, attribute: impl Into<String>, rate: f64) -> Self {
+        self.missing_rates.insert(attribute.into(), rate);
+        self
+    }
+
+    /// Marks attributes this source never renders.
+    pub fn never_rendering(mut self, attributes: &[&str]) -> Self {
+        self.never_renders.extend(attributes.iter().map(|s| s.to_string()));
+        self
+    }
+
+    /// Sets the typo rate.
+    pub fn with_typo_rate(mut self, rate: f64) -> Self {
+        self.typo_rate = rate;
+        self
+    }
+
+    /// Sets the categorical vocabulary shift.
+    pub fn with_vocab_shift(mut self, shift: usize) -> Self {
+        self.vocab_shift = shift;
+        self
+    }
+
+    /// Sets the filler-token rate.
+    pub fn with_filler_rate(mut self, rate: f64) -> Self {
+        self.filler_rate = rate;
+        self
+    }
+
+    /// The effective missing probability for an attribute.
+    pub fn missing_rate(&self, attribute: &str) -> f64 {
+        if self.never_renders.iter().any(|a| a == attribute) {
+            return 1.0;
+        }
+        self.missing_rates.get(attribute).copied().unwrap_or(self.default_missing_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let s = SourceStyle::clean("web1")
+            .with_name_format(NameFormat::Abbreviated)
+            .with_missing("genre", 0.5)
+            .never_rendering(&["gender"])
+            .with_typo_rate(0.1)
+            .with_vocab_shift(3);
+        assert_eq!(s.name, "web1");
+        assert_eq!(s.name_format, NameFormat::Abbreviated);
+        assert_eq!(s.missing_rate("genre"), 0.5);
+        assert_eq!(s.missing_rate("gender"), 1.0);
+        assert_eq!(s.missing_rate("country"), 0.02);
+        assert_eq!(s.vocab_shift, 3);
+    }
+
+    #[test]
+    fn never_renders_overrides_specific_rate() {
+        let s = SourceStyle::clean("x").with_missing("a", 0.1).never_rendering(&["a"]);
+        assert_eq!(s.missing_rate("a"), 1.0);
+    }
+}

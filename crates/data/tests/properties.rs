@@ -1,0 +1,103 @@
+//! Property-based tests of the corpus generators and split construction.
+
+use adamel_data::{
+    make_mel_split, weaken_labels, EntityType, MonitorConfig, MonitorWorld, MusicConfig,
+    MusicWorld, Scenario, SplitCounts,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn music_world_records_reference_valid_entities(seed in 0u64..500) {
+        let w = MusicWorld::generate(&MusicConfig::tiny(), seed);
+        for r in &w.records {
+            prop_assert!((r.entity_id as usize) < w.entities.len());
+            prop_assert!((r.source.0 as usize) < w.styles.len());
+            // Every rendered attribute is in the aligned schema.
+            for attr in r.attributes() {
+                prop_assert!(w.schema().index_of(attr).is_some(), "unknown attribute {}", attr);
+            }
+        }
+    }
+
+    #[test]
+    fn music_c2_holds_for_every_seed(seed in 0u64..500) {
+        let w = MusicWorld::generate(&MusicConfig::tiny(), seed);
+        for r in &w.records {
+            if r.source.0 < 3 {
+                prop_assert!(r.is_missing("gender"));
+                prop_assert!(r.is_missing("name_native_language"));
+            }
+        }
+    }
+
+    #[test]
+    fn monitor_c2_holds_for_every_seed(seed in 0u64..500) {
+        let w = MonitorWorld::generate(&MonitorConfig::tiny(), seed);
+        for r in &w.records {
+            if (r.source.0 as usize) < w.num_seen {
+                for attr in adamel_data::monitor::TARGET_ONLY_ATTRIBUTES {
+                    prop_assert!(r.is_missing(attr));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn splits_have_valid_structure(seed in 0u64..200) {
+        let w = MusicWorld::generate(&MusicConfig::tiny(), 3);
+        let records = w.records_of(EntityType::Artist, None);
+        let split = make_mel_split(
+            &records, "name", &[0, 1, 2], &[3, 4, 5, 6],
+            Scenario::Overlapping, &SplitCounts::tiny(), seed,
+        );
+        // Labels consistent with ground truth in the labeled splits.
+        for p in split.train.pairs.iter().chain(&split.support.pairs) {
+            prop_assert_eq!(p.label.unwrap(), p.ground_truth());
+        }
+        for p in &split.test.pairs {
+            prop_assert!(p.label.is_none());
+        }
+        // No duplicate (left, right) record identity pairs inside train.
+        let mut keys: Vec<(u64, u32, u64, u32)> = split
+            .train
+            .pairs
+            .iter()
+            .map(|p| (p.left.entity_id, p.left.source.0, p.right.entity_id, p.right.source.0))
+            .collect();
+        let before = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        // Positives of the same entity across the same source pair can
+        // legitimately repeat only if sampled twice — they are not, so
+        // dedup must be lossless for negatives at minimum.
+        prop_assert!(keys.len() + 2 >= before, "{} duplicate pairs", before - keys.len());
+    }
+
+    #[test]
+    fn weaken_labels_flip_rate_is_respected(rate in 0.05f64..0.5) {
+        let w = MusicWorld::generate(&MusicConfig::tiny(), 3);
+        let records = w.records_of(EntityType::Artist, None);
+        let mut split = make_mel_split(
+            &records, "name", &[0, 1, 2], &[3, 4, 5, 6],
+            Scenario::Overlapping, &SplitCounts::tiny(), 1,
+        );
+        let n = split.train.len() as f64;
+        let flipped = weaken_labels(&mut split.train, rate, 9) as f64;
+        // Binomial concentration: within 4 sigma.
+        let sigma = (n * rate * (1.0 - rate)).sqrt();
+        prop_assert!((flipped - n * rate).abs() <= 4.0 * sigma + 1.0,
+            "flipped {} of {} at rate {}", flipped, n, rate);
+    }
+
+    #[test]
+    fn monitor_page_title_near_complete(seed in 0u64..100) {
+        let w = MonitorWorld::generate(&MonitorConfig::tiny(), seed);
+        let total = w.records.len() as f64;
+        prop_assume!(total > 20.0);
+        let with_title = w.records.iter().filter(|r| !r.is_missing("page_title")).count() as f64;
+        prop_assert!(with_title / total > 0.9);
+    }
+}

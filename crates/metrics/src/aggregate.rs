@@ -1,0 +1,87 @@
+//! Aggregation of repeated runs: the paper reports "mean and std" over 3
+//! seeded runs for every table.
+
+use std::fmt;
+
+/// Mean ± sample standard deviation of a set of runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single run).
+    pub std: f64,
+    /// Number of runs aggregated.
+    pub n: usize,
+}
+
+impl RunStats {
+    /// Aggregates run values. Panics on an empty slice.
+    pub fn from_runs(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "RunStats::from_runs on empty input");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let std = if n > 1 {
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        } else {
+            0.0
+        };
+        Self { mean, std, n }
+    }
+}
+
+impl fmt::Display for RunStats {
+    /// Formats like the paper's tables: `0.9211 ± 0.0040`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.std)
+    }
+}
+
+/// Runs a seeded experiment `n` times (seeds `1..=n`) and aggregates the
+/// returned metric.
+pub fn repeat_runs(n: usize, mut experiment: impl FnMut(u64) -> f64) -> RunStats {
+    let values: Vec<f64> = (1..=n as u64).map(&mut experiment).collect();
+    RunStats::from_runs(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let s = RunStats::from_runs(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert!((s.std - 1.0).abs() < 1e-12);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn single_run_has_zero_std() {
+        let s = RunStats::from_runs(&[0.5]);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = RunStats::from_runs(&[0.9211, 0.9211]);
+        assert_eq!(format!("{s}"), "0.9211 ± 0.0000");
+    }
+
+    #[test]
+    fn repeat_runs_passes_seeds() {
+        let mut seeds = Vec::new();
+        let s = repeat_runs(3, |seed| {
+            seeds.push(seed);
+            seed as f64
+        });
+        assert_eq!(seeds, vec![1, 2, 3]);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_panics() {
+        let _ = RunStats::from_runs(&[]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Thresholded classification metrics (precision, recall, F1).
+//!
+//! Table 7 reports F1; following standard entity-matching practice the
+//! decision threshold is chosen to maximize F1 on the evaluation scores.
+
+/// Confusion counts at a fixed threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Builds the confusion matrix of `scores >= threshold` vs `labels`.
+    pub fn at_threshold(scores: &[f32], labels: &[bool], threshold: f32) -> Self {
+        assert_eq!(scores.len(), labels.len(), "Confusion length mismatch");
+        let mut c = Confusion::default();
+        for (&s, &l) in scores.iter().zip(labels) {
+            match (s >= threshold, l) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision (0 when nothing predicted positive).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall (0 when there are no positives).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 — harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// The maximum F1 over all score thresholds, with the threshold achieving
+/// it.
+pub fn best_f1(scores: &[f32], labels: &[bool]) -> (f64, f32) {
+    assert_eq!(scores.len(), labels.len(), "best_f1 length mismatch");
+    let mut thresholds: Vec<f32> = scores.to_vec();
+    thresholds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    thresholds.dedup();
+    let mut best = (0.0f64, 0.5f32);
+    for &t in &thresholds {
+        let f1 = Confusion::at_threshold(scores, labels, t).f1();
+        if f1 > best.0 {
+            best = (f1, t);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let c = Confusion::at_threshold(&[0.9, 0.8, 0.3, 0.1], &[true, false, true, false], 0.5);
+        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+        assert_eq!(c.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let c = Confusion::at_threshold(&[0.9, 0.8, 0.3, 0.1], &[true, true, false, false], 0.5);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn best_f1_finds_separating_threshold() {
+        let scores = [0.9, 0.7, 0.4, 0.2];
+        let labels = [true, true, false, false];
+        let (f1, t) = best_f1(&scores, &labels);
+        assert_eq!(f1, 1.0);
+        assert!(t > 0.4 && t <= 0.7);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(best_f1(&[], &[]).0, 0.0);
+        let c = Confusion::at_threshold(&[0.1], &[false], 0.5);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+}

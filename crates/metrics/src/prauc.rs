@@ -1,0 +1,141 @@
+//! Precision-recall metrics.
+//!
+//! The paper's headline metric is PRAUC "as it measures the precision-recall
+//! relation globally and handles data imbalance", computed with sklearn.
+//! [`pr_auc`] implements sklearn's `average_precision_score`:
+//! `AP = Σ_n (R_n − R_{n−1}) · P_n`, summing over descending score
+//! thresholds with ties processed as one group.
+
+/// One point on the precision-recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Precision at this threshold.
+    pub precision: f64,
+    /// Recall at this threshold.
+    pub recall: f64,
+    /// The score threshold.
+    pub threshold: f64,
+}
+
+/// The precision-recall curve over descending thresholds (ties grouped).
+///
+/// `scores[i]` is the model's match score for sample `i`; `labels[i]` is the
+/// ground truth (true = positive).
+pub fn pr_curve(scores: &[f32], labels: &[bool]) -> Vec<PrPoint> {
+    assert_eq!(scores.len(), labels.len(), "pr_curve length mismatch");
+    let total_pos = labels.iter().filter(|&&l| l).count();
+    if total_pos == 0 || scores.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut points = Vec::new();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        // Consume the whole tie group before emitting a point.
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(PrPoint {
+            precision: tp as f64 / (tp + fp) as f64,
+            recall: tp as f64 / total_pos as f64,
+            threshold: threshold as f64,
+        });
+    }
+    points
+}
+
+/// Average-precision PRAUC in `[0, 1]`.
+pub fn pr_auc(scores: &[f32], labels: &[bool]) -> f64 {
+    let curve = pr_curve(scores, labels);
+    let mut auc = 0.0;
+    let mut prev_recall = 0.0;
+    for p in &curve {
+        auc += (p.recall - prev_recall) * p.precision;
+        prev_recall = p.recall;
+    }
+    auc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_gives_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((pr_auc(&scores, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_ranking_is_low() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [false, false, true, true];
+        let auc = pr_auc(&scores, &labels);
+        assert!(auc < 0.6 && auc > 0.0);
+    }
+
+    #[test]
+    fn matches_sklearn_example() {
+        // sklearn: average_precision_score([0,0,1,1], [0.1,0.4,0.35,0.8])
+        // == 0.8333333...
+        let scores = [0.1, 0.4, 0.35, 0.8];
+        let labels = [false, false, true, true];
+        assert!((pr_auc(&scores, &labels) - 0.8333333).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ties_processed_as_group() {
+        // All scores equal: precision = prevalence, recall jumps to 1.
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        let auc = pr_auc(&scores, &labels);
+        assert!((auc - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_positives_is_zero() {
+        assert_eq!(pr_auc(&[0.5, 0.1], &[false, false]), 0.0);
+        assert_eq!(pr_auc(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn imbalance_penalizes_random_scores() {
+        // 1% positives with uninformative scores should give PRAUC near the
+        // prevalence, not near 0.5 — the reason the paper prefers PRAUC.
+        let n = 1000;
+        let mut scores = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        let mut state = 12345u64;
+        for i in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            scores.push((state >> 33) as f32 / (1u64 << 31) as f32);
+            labels.push(i % 100 == 0);
+        }
+        let auc = pr_auc(&scores, &labels);
+        assert!(auc < 0.1, "random scores on 1% prevalence gave {auc}");
+    }
+
+    #[test]
+    fn curve_recall_is_monotone() {
+        let scores = [0.9, 0.7, 0.7, 0.4, 0.2];
+        let labels = [true, false, true, true, false];
+        let curve = pr_curve(&scores, &labels);
+        for w in curve.windows(2) {
+            assert!(w[1].recall >= w[0].recall);
+        }
+        assert!((curve.last().unwrap().recall - 1.0).abs() < 1e-9);
+    }
+}

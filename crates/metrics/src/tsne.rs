@@ -1,0 +1,280 @@
+//! Exact t-SNE (van der Maaten & Hinton, 2008) for the attention-space
+//! visualizations of Fig. 7.
+//!
+//! The paper projects per-pair feature-attention vectors (dimension `F`,
+//! a few hundred points) to 2-D with sklearn's TSNE. At that scale the exact
+//! O(n²) formulation is fast, so no Barnes–Hut approximation is needed.
+
+/// Configuration for a t-SNE run.
+#[derive(Debug, Clone)]
+pub struct TsneConfig {
+    /// Target perplexity (effective number of neighbors).
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f64,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self { perplexity: 30.0, iterations: 300, learning_rate: 100.0, exaggeration: 12.0, seed: 0 }
+    }
+}
+
+/// Embeds `points` (each a d-dimensional vector) into 2-D.
+///
+/// Returns one `[x, y]` per input point. Inputs of fewer than 3 points are
+/// returned as trivial layouts.
+pub fn tsne(points: &[Vec<f32>], cfg: &TsneConfig) -> Vec<[f32; 2]> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n < 3 {
+        return (0..n).map(|i| [i as f32, 0.0]).collect();
+    }
+    let d2 = pairwise_sq_distances(points);
+    let p = joint_probabilities(&d2, cfg.perplexity.min((n - 1) as f64 / 3.0).max(1.0));
+
+    // Deterministic small random init.
+    let mut state = cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut rand = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 1e-2
+    };
+    let mut y: Vec<[f64; 2]> = (0..n).map(|_| [rand(), rand()]).collect();
+    let mut velocity = vec![[0.0f64; 2]; n];
+    let mut gains = vec![[1.0f64; 2]; n];
+
+    let exag_end = cfg.iterations / 4;
+    for iter in 0..cfg.iterations {
+        let exag = if iter < exag_end { cfg.exaggeration } else { 1.0 };
+        let momentum = if iter < exag_end { 0.5 } else { 0.8 };
+
+        // Student-t affinities in the embedding.
+        let mut num = vec![0.0f64; n * n];
+        let mut z = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let q = 1.0 / (1.0 + dx * dx + dy * dy);
+                num[i * n + j] = q;
+                num[j * n + i] = q;
+                z += 2.0 * q;
+            }
+        }
+        let z = z.max(1e-12);
+
+        // All gradients are computed against the same snapshot of `y`
+        // before any position moves; interleaving updates with gradient
+        // computation lets early moves cascade into later gradients and
+        // diverge.
+        let mut grads = vec![[0.0f64; 2]; n];
+        for i in 0..n {
+            let grad = &mut grads[i];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let q = num[i * n + j];
+                let pij = exag * p[i * n + j];
+                let mult = (pij - q / z) * q;
+                grad[0] += 4.0 * mult * (y[i][0] - y[j][0]);
+                grad[1] += 4.0 * mult * (y[i][1] - y[j][1]);
+            }
+        }
+        for i in 0..n {
+            for k in 0..2 {
+                // Adaptive gains as in the reference implementation.
+                gains[i][k] = if grads[i][k].signum() != velocity[i][k].signum() {
+                    gains[i][k] + 0.2
+                } else {
+                    (gains[i][k] * 0.8).max(0.01)
+                };
+                velocity[i][k] =
+                    momentum * velocity[i][k] - cfg.learning_rate * gains[i][k] * grads[i][k];
+                y[i][k] += velocity[i][k];
+            }
+        }
+
+        // Re-center.
+        let (mx, my) = y.iter().fold((0.0, 0.0), |(a, b), p| (a + p[0], b + p[1]));
+        let (mx, my) = (mx / n as f64, my / n as f64);
+        for p in &mut y {
+            p[0] -= mx;
+            p[1] -= my;
+        }
+    }
+    y.iter().map(|p| [p[0] as f32, p[1] as f32]).collect()
+}
+
+fn pairwise_sq_distances(points: &[Vec<f32>]) -> Vec<f64> {
+    let n = points.len();
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist: f64 = points[i]
+                .iter()
+                .zip(&points[j])
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+    d2
+}
+
+/// Conditional Gaussians calibrated per-point to the target perplexity,
+/// then symmetrized: `P = (P|i + P|j) / 2n`.
+fn joint_probabilities(d2: &[f64], perplexity: f64) -> Vec<f64> {
+    let n = (d2.len() as f64).sqrt() as usize;
+    let target_entropy = perplexity.ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        // Binary search beta = 1/(2 sigma^2).
+        let mut beta = 1.0f64;
+        let (mut beta_min, mut beta_max) = (f64::NEG_INFINITY, f64::INFINITY);
+        let mut row = vec![0.0f64; n];
+        for _ in 0..64 {
+            let mut sum = 0.0;
+            for (j, r) in row.iter_mut().enumerate() {
+                *r = if i == j { 0.0 } else { (-beta * d2[i * n + j]).exp() };
+                sum += *r;
+            }
+            let sum = sum.max(1e-300);
+            let mut entropy = 0.0;
+            for r in &row {
+                let pij = r / sum;
+                if pij > 1e-12 {
+                    entropy -= pij * pij.ln();
+                }
+            }
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_min = beta;
+                beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+            } else {
+                beta_max = beta;
+                beta = if beta_min.is_finite() { (beta + beta_min) / 2.0 } else { beta / 2.0 };
+            }
+        }
+        let sum: f64 = row.iter().sum::<f64>().max(1e-300);
+        for j in 0..n {
+            p[i * n + j] = row[j] / sum;
+        }
+    }
+    // Symmetrize and normalize.
+    let mut joint = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            joint[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+    joint
+}
+
+/// Mean pairwise distance between two groups of 2-D points divided by the
+/// mean within-group distance — a scalar "how separated are these clusters"
+/// summary used to quantify Fig. 7's alignment claim.
+pub fn separation_ratio(a: &[[f32; 2]], b: &[[f32; 2]]) -> f64 {
+    fn mean_dist(xs: &[[f32; 2]], ys: &[[f32; 2]], skip_same_index: bool) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (i, x) in xs.iter().enumerate() {
+            for (j, y) in ys.iter().enumerate() {
+                if skip_same_index && i == j {
+                    continue;
+                }
+                total += (((x[0] - y[0]).powi(2) + (x[1] - y[1]).powi(2)) as f64).sqrt();
+                count += 1;
+            }
+        }
+        total / count.max(1) as f64
+    }
+    if a.len() < 2 || b.len() < 2 {
+        return 1.0;
+    }
+    let between = mean_dist(a, b, false);
+    let within = 0.5 * (mean_dist(a, a, true) + mean_dist(b, b, true));
+    if within == 0.0 {
+        return f64::INFINITY;
+    }
+    between / within
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_clusters(n_per: usize, gap: f32) -> Vec<Vec<f32>> {
+        let mut pts = Vec::new();
+        for i in 0..n_per {
+            let jitter = (i as f32) * 0.01;
+            pts.push(vec![jitter, 0.0, jitter]);
+        }
+        for i in 0..n_per {
+            let jitter = (i as f32) * 0.01;
+            pts.push(vec![gap + jitter, gap, gap - jitter]);
+        }
+        pts
+    }
+
+    #[test]
+    fn preserves_cluster_structure() {
+        let pts = two_clusters(12, 10.0);
+        let cfg = TsneConfig { perplexity: 5.0, iterations: 250, ..Default::default() };
+        let emb = tsne(&pts, &cfg);
+        let (a, b) = emb.split_at(12);
+        let ratio = separation_ratio(a, b);
+        assert!(ratio > 1.5, "clusters not separated: ratio {ratio}");
+    }
+
+    #[test]
+    fn identical_distribution_is_mixed() {
+        // Points drawn from one blob should NOT separate by arbitrary
+        // grouping — this is the λ=0.98 "aligned" case of Fig. 7.
+        let pts = two_clusters(12, 0.0);
+        let cfg = TsneConfig { perplexity: 5.0, iterations: 250, ..Default::default() };
+        let emb = tsne(&pts, &cfg);
+        let (a, b) = emb.split_at(12);
+        let ratio = separation_ratio(a, b);
+        assert!(ratio < 1.5, "identical clusters separated: ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = two_clusters(6, 5.0);
+        let cfg = TsneConfig { iterations: 50, ..Default::default() };
+        let a = tsne(&pts, &cfg);
+        let b = tsne(&pts, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_inputs_do_not_panic() {
+        assert!(tsne(&[], &TsneConfig::default()).is_empty());
+        assert_eq!(tsne(&[vec![1.0]], &TsneConfig::default()).len(), 1);
+        assert_eq!(tsne(&[vec![1.0], vec![2.0]], &TsneConfig::default()).len(), 2);
+    }
+
+    #[test]
+    fn output_is_centered() {
+        let pts = two_clusters(8, 4.0);
+        let emb = tsne(&pts, &TsneConfig { iterations: 100, ..Default::default() });
+        let mx: f32 = emb.iter().map(|p| p[0]).sum::<f32>() / emb.len() as f32;
+        let my: f32 = emb.iter().map(|p| p[1]).sum::<f32>() / emb.len() as f32;
+        assert!(mx.abs() < 1e-3 && my.abs() < 1e-3);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests of the evaluation metrics.
+
+use adamel_metrics::{best_f1, pr_auc, pr_curve, Confusion, RunStats};
+use proptest::prelude::*;
+
+fn scores_and_labels() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
+    proptest::collection::vec((0.0f32..1.0, any::<bool>()), 1..80)
+        .prop_map(|v| v.into_iter().unzip())
+}
+
+proptest! {
+    #[test]
+    fn pr_auc_is_bounded((scores, labels) in scores_and_labels()) {
+        let auc = pr_auc(&scores, &labels);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&auc), "auc {}", auc);
+    }
+
+    #[test]
+    fn perfect_ranking_reaches_one(n_pos in 1usize..20, n_neg in 1usize..20) {
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_pos {
+            scores.push(1.0 - i as f32 * 1e-3);
+            labels.push(true);
+        }
+        for i in 0..n_neg {
+            scores.push(0.4 - i as f32 * 1e-3);
+            labels.push(false);
+        }
+        prop_assert!((pr_auc(&scores, &labels) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pr_auc_invariant_to_monotone_score_transform((scores, labels) in scores_and_labels()) {
+        prop_assume!(labels.iter().any(|&l| l));
+        let transformed: Vec<f32> = scores.iter().map(|s| s * 0.5 + 0.25).collect();
+        let a = pr_auc(&scores, &labels);
+        let b = pr_auc(&transformed, &labels);
+        prop_assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+    }
+
+    #[test]
+    fn curve_ends_at_full_recall((scores, labels) in scores_and_labels()) {
+        prop_assume!(labels.iter().any(|&l| l));
+        let curve = pr_curve(&scores, &labels);
+        prop_assert!((curve.last().unwrap().recall - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_f1_dominates_any_fixed_threshold((scores, labels) in scores_and_labels()) {
+        let (best, _) = best_f1(&scores, &labels);
+        for t in [0.25f32, 0.5, 0.75] {
+            let f1 = Confusion::at_threshold(&scores, &labels, t).f1();
+            prop_assert!(best >= f1 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn confusion_counts_total((scores, labels) in scores_and_labels()) {
+        let c = Confusion::at_threshold(&scores, &labels, 0.5);
+        prop_assert_eq!(c.tp + c.fp + c.tn + c.fn_, scores.len());
+    }
+
+    #[test]
+    fn run_stats_mean_is_bounded_by_extremes(values in proptest::collection::vec(0.0f64..1.0, 1..10)) {
+        let s = RunStats::from_runs(&values);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(s.mean >= min - 1e-12 && s.mean <= max + 1e-12);
+        prop_assert!(s.std >= 0.0);
+    }
+}

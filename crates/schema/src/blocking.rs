@@ -1,0 +1,123 @@
+//! Token blocking for candidate generation.
+//!
+//! Scoring every cross pair of two record collections is quadratic;
+//! production linkage pipelines first *block* records that share a key
+//! token and only score those candidates. This is the inference-time
+//! counterpart of the sampler used to build training corpora.
+
+use crate::record::Record;
+use adamel_text::tokenize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A blocking index over one record collection.
+pub struct BlockingIndex<'a> {
+    records: &'a [Record],
+    by_token: BTreeMap<String, Vec<usize>>,
+}
+
+impl<'a> BlockingIndex<'a> {
+    /// Indexes `records` on the word tokens of `block_attrs` (records
+    /// missing every blocking attribute are only reachable via
+    /// [`candidates_for`](Self::candidates_for) fallback).
+    pub fn new(records: &'a [Record], block_attrs: &[&str]) -> Self {
+        let mut by_token: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, r) in records.iter().enumerate() {
+            let mut seen = BTreeSet::new();
+            for attr in block_attrs {
+                if let Some(v) = r.get(attr) {
+                    for t in tokenize(v) {
+                        if seen.insert(t.clone()) {
+                            by_token.entry(t).or_default().push(i);
+                        }
+                    }
+                }
+            }
+        }
+        Self { records, by_token }
+    }
+
+    /// The indexed records.
+    pub fn records(&self) -> &[Record] {
+        self.records
+    }
+
+    /// Indices of records sharing at least one blocking token with `query`
+    /// under the given attributes, capped at `limit` (most-overlapping
+    /// first).
+    pub fn candidates_for(&self, query: &Record, block_attrs: &[&str], limit: usize) -> Vec<usize> {
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut seen = BTreeSet::new();
+        for attr in block_attrs {
+            if let Some(v) = query.get(attr) {
+                for t in tokenize(v) {
+                    if !seen.insert(t.clone()) {
+                        continue;
+                    }
+                    if let Some(members) = self.by_token.get(&t) {
+                        for &m in members {
+                            *counts.entry(m).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let mut ranked: Vec<(usize, usize)> = counts.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.into_iter().take(limit).map(|(i, _)| i).collect()
+    }
+
+    /// Number of distinct blocking tokens.
+    pub fn num_blocks(&self) -> usize {
+        self.by_token.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::SourceId;
+
+    fn rec(id: u64, title: &str) -> Record {
+        let mut r = Record::new(SourceId(0), id);
+        r.set("title", title);
+        r
+    }
+
+    #[test]
+    fn candidates_share_tokens() {
+        let records = vec![
+            rec(1, "hey jude"),
+            rec(2, "hey there delilah"),
+            rec(3, "yellow submarine"),
+        ];
+        let idx = BlockingIndex::new(&records, &["title"]);
+        let q = rec(9, "hey jude remix");
+        let cands = idx.candidates_for(&q, &["title"], 10);
+        assert_eq!(cands, vec![0, 1]); // record 0 shares 2 tokens, 1 shares 1
+    }
+
+    #[test]
+    fn limit_is_respected_and_ranked() {
+        let records: Vec<Record> = (0..20).map(|i| rec(i, "common words here")).collect();
+        let idx = BlockingIndex::new(&records, &["title"]);
+        let q = rec(99, "common words");
+        let cands = idx.candidates_for(&q, &["title"], 5);
+        assert_eq!(cands.len(), 5);
+    }
+
+    #[test]
+    fn no_shared_tokens_means_no_candidates() {
+        let records = vec![rec(1, "alpha"), rec(2, "beta")];
+        let idx = BlockingIndex::new(&records, &["title"]);
+        assert!(idx.candidates_for(&rec(9, "gamma"), &["title"], 10).is_empty());
+        assert_eq!(idx.num_blocks(), 2);
+    }
+
+    #[test]
+    fn missing_blocking_attribute_is_fine() {
+        let records = vec![rec(1, "alpha")];
+        let idx = BlockingIndex::new(&records, &["title"]);
+        let empty = Record::new(SourceId(1), 5);
+        assert!(idx.candidates_for(&empty, &["title"], 10).is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! Contrastive relational feature extraction (paper §4.2, Eq. 2–3).
+//!
+//! Each attribute `A` of a pair `(r, r')` is parsed into two features:
+//! `sim(A)` — the word tokens shared by both records — and `uni(A)` — the
+//! tokens appearing in exactly one. Token embeddings are summed per feature
+//! and the missing-value case is embedded as the embedder's fixed normalized
+//! non-zero vector, so every pair becomes a dense `F x D` block with
+//! `F = 2|A|`.
+
+use crate::pair::EntityPair;
+use crate::record::Schema;
+use adamel_tensor::Matrix;
+use adamel_text::{shared_and_unique, tokenize_cropped, HashedFastText};
+
+/// Which contrastive features to extract — the Table 6 ablation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureMode {
+    /// Only `sim(A)` features.
+    SharedOnly,
+    /// Only `uni(A)` features.
+    UniqueOnly,
+    /// Both, the paper's default (`F = 2|A|`).
+    Both,
+}
+
+impl FeatureMode {
+    /// Features produced per attribute.
+    pub fn per_attribute(self) -> usize {
+        match self {
+            FeatureMode::Both => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Turns aligned entity pairs into dense token-embedding features.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    schema: Schema,
+    embedder: HashedFastText,
+    crop: usize,
+    mode: FeatureMode,
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor over `schema` using the paper's configuration
+    /// interface: `crop` is the token cropping size (paper uses 20).
+    pub fn new(schema: Schema, embedder: HashedFastText, crop: usize, mode: FeatureMode) -> Self {
+        assert!(!schema.is_empty(), "FeatureExtractor requires a non-empty schema");
+        Self { schema, embedder, crop, mode }
+    }
+
+    /// The aligned schema features are extracted against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of relational features `F` per pair.
+    pub fn num_features(&self) -> usize {
+        self.schema.len() * self.mode.per_attribute()
+    }
+
+    /// Embedding dimensionality `D` per feature.
+    pub fn dim(&self) -> usize {
+        self.embedder.dim()
+    }
+
+    /// The extraction mode.
+    pub fn mode(&self) -> FeatureMode {
+        self.mode
+    }
+
+    /// Human-readable feature names in column order, e.g.
+    /// `["artist_shared", "artist_unique", "title_shared", ...]` — used by
+    /// the attention analysis (Table 4).
+    pub fn feature_names(&self) -> Vec<String> {
+        let mut names = Vec::with_capacity(self.num_features());
+        for attr in self.schema.attributes() {
+            match self.mode {
+                FeatureMode::SharedOnly => names.push(format!("{attr}_shared")),
+                FeatureMode::UniqueOnly => names.push(format!("{attr}_unique")),
+                FeatureMode::Both => {
+                    names.push(format!("{attr}_shared"));
+                    names.push(format!("{attr}_unique"));
+                }
+            }
+        }
+        names
+    }
+
+    /// Encodes one pair as a `1 x (F*D)` row: the concatenation of the `F`
+    /// per-feature summed token embeddings `h_j` (Eq. 3).
+    pub fn encode_pair(&self, pair: &EntityPair) -> Matrix {
+        let d = self.dim();
+        let mut row = Vec::with_capacity(self.num_features() * d);
+        for attr in self.schema.attributes() {
+            let left = pair.left.get(attr).map(|v| tokenize_cropped(v, self.crop)).unwrap_or_default();
+            let right =
+                pair.right.get(attr).map(|v| tokenize_cropped(v, self.crop)).unwrap_or_default();
+            let missing = left.is_empty() && right.is_empty();
+            let (shared, unique) = shared_and_unique(&left, &right);
+            let emit = |tokens: &[String], row: &mut Vec<f32>| {
+                // C1/C2: a fully missing attribute on both sides becomes the
+                // fixed non-zero vector so its parameters still receive
+                // gradient; an *empty* contrast set on a present attribute is
+                // genuine evidence and embeds as the missing vector too
+                // (both records exist but share nothing / differ in nothing).
+                let _ = missing;
+                let m = self.embedder.embed_tokens(tokens);
+                row.extend_from_slice(m.as_slice());
+            };
+            match self.mode {
+                FeatureMode::SharedOnly => emit(&shared, &mut row),
+                FeatureMode::UniqueOnly => emit(&unique, &mut row),
+                FeatureMode::Both => {
+                    emit(&shared, &mut row);
+                    emit(&unique, &mut row);
+                }
+            }
+        }
+        Matrix::from_vec(1, self.num_features() * d, row)
+    }
+
+    /// Encodes a batch of pairs as an `n x (F*D)` matrix.
+    pub fn encode_pairs(&self, pairs: &[EntityPair]) -> Matrix {
+        let d = self.dim();
+        let width = self.num_features() * d;
+        let mut data = Vec::with_capacity(pairs.len() * width);
+        for p in pairs {
+            data.extend_from_slice(self.encode_pair(p).as_slice());
+        }
+        Matrix::from_vec(pairs.len(), width, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Record, SourceId};
+
+    fn rec(kv: &[(&str, &str)]) -> Record {
+        let mut r = Record::new(SourceId(0), 0);
+        for (k, v) in kv {
+            r.set(*k, *v);
+        }
+        r
+    }
+
+    fn extractor(mode: FeatureMode) -> FeatureExtractor {
+        let schema = Schema::new(vec!["artist".into(), "title".into()]);
+        FeatureExtractor::new(schema, HashedFastText::new(16, 1), 20, mode)
+    }
+
+    #[test]
+    fn feature_count_follows_mode() {
+        assert_eq!(extractor(FeatureMode::Both).num_features(), 4);
+        assert_eq!(extractor(FeatureMode::SharedOnly).num_features(), 2);
+        assert_eq!(extractor(FeatureMode::UniqueOnly).num_features(), 2);
+    }
+
+    #[test]
+    fn feature_names_order() {
+        let names = extractor(FeatureMode::Both).feature_names();
+        assert_eq!(names, vec!["artist_shared", "artist_unique", "title_shared", "title_unique"]);
+    }
+
+    #[test]
+    fn encode_shapes() {
+        let ex = extractor(FeatureMode::Both);
+        let pair = EntityPair::unlabeled(
+            rec(&[("title", "hey jude"), ("artist", "beatles")]),
+            rec(&[("title", "hey jude"), ("artist", "p m")]),
+        );
+        let row = ex.encode_pair(&pair);
+        assert_eq!(row.shape(), (1, 4 * 16));
+        let batch = ex.encode_pairs(&[pair.clone(), pair]);
+        assert_eq!(batch.shape(), (2, 4 * 16));
+    }
+
+    #[test]
+    fn identical_values_put_mass_in_shared_feature() {
+        let ex = extractor(FeatureMode::Both);
+        let pair = EntityPair::unlabeled(
+            rec(&[("title", "hey jude")]),
+            rec(&[("title", "hey jude")]),
+        );
+        let row = ex.encode_pair(&pair);
+        // title_shared is feature index 2 (artist_shared, artist_unique,
+        // title_shared, title_unique); its block should differ from the
+        // missing vector while title_unique equals the missing vector.
+        let d = 16;
+        let missing = HashedFastText::new(16, 1).missing_vector();
+        let shared_block = &row.as_slice()[2 * d..3 * d];
+        let unique_block = &row.as_slice()[3 * d..4 * d];
+        assert_ne!(shared_block, missing.as_slice());
+        assert_eq!(unique_block, missing.as_slice());
+    }
+
+    #[test]
+    fn missing_attribute_embeds_missing_vector_everywhere() {
+        let ex = extractor(FeatureMode::Both);
+        let pair = EntityPair::unlabeled(rec(&[]), rec(&[]));
+        let row = ex.encode_pair(&pair);
+        let missing = HashedFastText::new(16, 1).missing_vector();
+        for f in 0..4 {
+            assert_eq!(&row.as_slice()[f * 16..(f + 1) * 16], missing.as_slice());
+        }
+    }
+
+    #[test]
+    fn schema_projection_changes_width() {
+        let schema = Schema::new(vec!["artist".into(), "title".into()]);
+        let top = schema.project(&["title"]);
+        let ex = FeatureExtractor::new(top, HashedFastText::new(8, 1), 20, FeatureMode::Both);
+        assert_eq!(ex.num_features(), 2);
+        assert_eq!(ex.feature_names(), vec!["title_shared", "title_unique"]);
+    }
+}

@@ -1,0 +1,20 @@
+//! # adamel-schema
+//!
+//! The data model of the AdaMEL reproduction: entity [`Record`]s collected
+//! from [`SourceId`]s, canonical attribute [`Schema`]s with union-ontology
+//! alignment (the prerequisite for domain adaptation, paper §4.1),
+//! labeled/unlabeled [`EntityPair`]s grouped into [`Domain`]s (`D_S`, `D_T`,
+//! and the support set `S_U`), and the contrastive relational
+//! [`FeatureExtractor`] implementing Eq. 2–3.
+
+#![warn(missing_docs)]
+
+pub mod blocking;
+pub mod features;
+pub mod pair;
+pub mod record;
+
+pub use blocking::BlockingIndex;
+pub use features::{FeatureExtractor, FeatureMode};
+pub use pair::{Domain, EntityPair};
+pub use record::{Record, Schema, SourceId};

@@ -1,0 +1,568 @@
+//! Reverse-mode automatic differentiation over [`Matrix`] values.
+//!
+//! A [`Graph`] is a tape: every operation appends a node recording its
+//! inputs, its output value, and enough context to compute vector-Jacobian
+//! products on the way back. A fresh graph is built per training step (define
+//! -by-run); parameters live outside the graph in a
+//! [`ParamSet`](crate::params::ParamSet) and are re-inserted as leaves each
+//! step, which keeps the tape simple and makes gradient accumulation
+//! explicit.
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamSet};
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+/// The recorded operation of a tape node.
+enum Op {
+    /// Constant input; no gradient flows further.
+    Constant,
+    /// Leaf bound to a trainable parameter; backward accumulates into the
+    /// parameter's gradient buffer.
+    Param(ParamId),
+    MatMul(Var, Var),
+    Add(Var, Var),
+    /// `(n,m) + (1,m)` bias addition.
+    AddRowBroadcast(Var, Var),
+    /// Elementwise product of equally shaped nodes.
+    Mul(Var, Var),
+    /// `(n,m) * (n,1)`: row `i` scaled by `col[i]`.
+    MulColBroadcast(Var, Var),
+    Scale(Var, f32),
+    Relu(Var),
+    Tanh(Var),
+    Sigmoid(Var),
+    SoftmaxRows(Var),
+    ConcatCols(Vec<Var>),
+    /// Contiguous column window `[start, start+width)` of the input.
+    SliceCols { input: Var, start: usize, width: usize },
+    MeanAll(Var),
+    SumAll(Var),
+    /// Mean binary cross-entropy on logits vs. constant targets, with
+    /// per-sample constant weights. Fused for numerical stability.
+    WeightedBceWithLogits { logits: Var, targets: Matrix, weights: Matrix },
+    /// Mean over rows of `KL(q || p_i)` with a constant row distribution `q`
+    /// and `p` the (already normalized) rows of the input.
+    KlConstRows { probs: Var, target: Matrix, eps: f32 },
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// A define-by-run autograd tape.
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::with_capacity(64) }
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        debug_assert!(value.is_finite(), "non-finite value produced on the tape");
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Inserts a constant (no gradient) input.
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Constant)
+    }
+
+    /// Inserts a leaf bound to parameter `id`, copying its current value.
+    pub fn param(&mut self, params: &ParamSet, id: ParamId) -> Var {
+        self.push(params.value(id).clone(), Op::Param(id))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(value, Op::MatMul(a, b))
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// Adds a `1 x m` bias row to every row of an `n x m` node.
+    pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        let value = self.nodes[a.0].value.add_row_broadcast(&self.nodes[bias.0].value);
+        self.push(value, Op::AddRowBroadcast(a, bias))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.mul(&self.nodes[b.0].value);
+        self.push(value, Op::Mul(a, b))
+    }
+
+    /// Scales row `i` of `a` by element `i` of the `n x 1` node `col`.
+    pub fn mul_col_broadcast(&mut self, a: Var, col: Var) -> Var {
+        let value = self.nodes[a.0].value.mul_col_broadcast(&self.nodes[col.0].value);
+        self.push(value, Op::MulColBroadcast(a, col))
+    }
+
+    /// Multiplies by a compile-time constant scalar.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let value = self.nodes[a.0].value.scale(s);
+        self.push(value, Op::Scale(a, s))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(|v| v.max(0.0));
+        self.push(value, Op::Relu(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(f32::tanh);
+        self.push(value, Op::Tanh(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.push(value, Op::Sigmoid(a))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.softmax_rows();
+        self.push(value, Op::SoftmaxRows(a))
+    }
+
+    /// Horizontal concatenation.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let values: Vec<&Matrix> = parts.iter().map(|v| &self.nodes[v.0].value).collect();
+        let value = Matrix::concat_cols(&values);
+        self.push(value, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Copies a contiguous column window `[start, start+width)`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, width: usize) -> Var {
+        let value = self.nodes[a.0].value.slice_cols(start, width);
+        self.push(value, Op::SliceCols { input: a, start, width })
+    }
+
+    /// Mean over all elements, producing a 1x1 node.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = Matrix::scalar(self.nodes[a.0].value.mean());
+        self.push(value, Op::MeanAll(a))
+    }
+
+    /// Sum over all elements, producing a 1x1 node.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Matrix::scalar(self.nodes[a.0].value.sum());
+        self.push(value, Op::SumAll(a))
+    }
+
+    /// Mean binary cross-entropy with logits (numerically stable fused op).
+    ///
+    /// `logits` is `n x 1`; `targets` holds 0/1 labels and `weights`
+    /// per-sample non-negative weights (both constants, `n x 1`). The loss is
+    /// `mean_i w_i * bce(sigmoid(z_i), y_i)` computed as
+    /// `w * (max(z,0) - z*y + ln(1 + e^{-|z|}))`.
+    pub fn weighted_bce_with_logits(&mut self, logits: Var, targets: Matrix, weights: Matrix) -> Var {
+        let z = &self.nodes[logits.0].value;
+        assert_eq!(z.cols(), 1, "bce_with_logits expects n x 1 logits");
+        assert_eq!(z.shape(), targets.shape(), "bce targets shape mismatch");
+        assert_eq!(z.shape(), weights.shape(), "bce weights shape mismatch");
+        let n = z.rows().max(1) as f32;
+        let mut total = 0.0;
+        for i in 0..z.rows() {
+            let zi = z.get(i, 0);
+            let yi = targets.get(i, 0);
+            let wi = weights.get(i, 0);
+            total += wi * (zi.max(0.0) - zi * yi + (-zi.abs()).exp().ln_1p());
+        }
+        self.push(Matrix::scalar(total / n), Op::WeightedBceWithLogits { logits, targets, weights })
+    }
+
+    /// Mean binary cross-entropy with logits and unit weights.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: Matrix) -> Var {
+        let weights = Matrix::full(targets.rows(), targets.cols(), 1.0);
+        self.weighted_bce_with_logits(logits, targets, weights)
+    }
+
+    /// Mean over rows of `KL(q || p_i) = Σ_j q_j ln(q_j / p_ij)` where `q` is
+    /// a constant `1 x m` distribution and the input rows `p_i` are already
+    /// normalized (e.g. softmax outputs). `eps` guards the logarithm.
+    pub fn kl_const_rows(&mut self, probs: Var, target: Matrix, eps: f32) -> Var {
+        let p = &self.nodes[probs.0].value;
+        assert_eq!(target.rows(), 1, "kl_const_rows expects a 1 x m target");
+        assert_eq!(p.cols(), target.cols(), "kl_const_rows shape mismatch");
+        let n = p.rows().max(1) as f32;
+        let mut total = 0.0;
+        for i in 0..p.rows() {
+            for j in 0..p.cols() {
+                let q = target.get(0, j);
+                if q > 0.0 {
+                    total += q * ((q / (p.get(i, j) + eps)).ln());
+                }
+            }
+        }
+        self.push(Matrix::scalar(total / n), Op::KlConstRows { probs, target, eps })
+    }
+
+    /// Convenience: `relu(x @ w + b)` with a `1 x out` bias row.
+    pub fn linear_relu(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let z = self.matmul(x, w);
+        let z = self.add_row_broadcast(z, b);
+        self.relu(z)
+    }
+
+    /// Convenience: `x @ w + b`.
+    pub fn linear(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let z = self.matmul(x, w);
+        self.add_row_broadcast(z, b)
+    }
+
+    /// Runs reverse-mode differentiation from the scalar node `root`,
+    /// accumulating parameter gradients into `params`.
+    ///
+    /// The tape is consumed conceptually (gradients of interior nodes are
+    /// dropped afterwards); call once per constructed graph.
+    pub fn backward(&self, root: Var, params: &mut ParamSet) {
+        assert_eq!(
+            self.nodes[root.0].value.shape(),
+            (1, 1),
+            "backward requires a scalar (1x1) root"
+        );
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[root.0] = Some(Matrix::scalar(1.0));
+
+        for idx in (0..=root.0).rev() {
+            let Some(grad) = grads[idx].take() else { continue };
+            match &self.nodes[idx].op {
+                Op::Constant => {}
+                Op::Param(id) => params.grad_mut(*id).add_assign(&grad),
+                Op::MatMul(a, b) => {
+                    // dL/dA = G Bᵀ ; dL/dB = Aᵀ G
+                    let ga = grad.matmul_nt(&self.nodes[b.0].value);
+                    let gb = self.nodes[a.0].value.matmul_tn(&grad);
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, grad.clone());
+                    accumulate(&mut grads, *b, grad);
+                }
+                Op::AddRowBroadcast(a, bias) => {
+                    // Bias gradient is the column sum of the upstream grad.
+                    let mut gb = Matrix::zeros(1, grad.cols());
+                    for i in 0..grad.rows() {
+                        for j in 0..grad.cols() {
+                            gb.set(0, j, gb.get(0, j) + grad.get(i, j));
+                        }
+                    }
+                    accumulate(&mut grads, *a, grad);
+                    accumulate(&mut grads, *bias, gb);
+                }
+                Op::Mul(a, b) => {
+                    let ga = grad.mul(&self.nodes[b.0].value);
+                    let gb = grad.mul(&self.nodes[a.0].value);
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::MulColBroadcast(a, col) => {
+                    let aval = &self.nodes[a.0].value;
+                    let cval = &self.nodes[col.0].value;
+                    let ga = grad.mul_col_broadcast(cval);
+                    // d/dcol_i = Σ_j grad_ij * a_ij
+                    let gc = grad.mul(aval).sum_cols();
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *col, gc);
+                }
+                Op::Scale(a, s) => accumulate(&mut grads, *a, grad.scale(*s)),
+                Op::Relu(a) => {
+                    let mask = self.nodes[a.0].value.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                    accumulate(&mut grads, *a, grad.mul(&mask));
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[idx].value;
+                    let deriv = y.map(|t| 1.0 - t * t);
+                    accumulate(&mut grads, *a, grad.mul(&deriv));
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[idx].value;
+                    let deriv = y.map(|s| s * (1.0 - s));
+                    accumulate(&mut grads, *a, grad.mul(&deriv));
+                }
+                Op::SoftmaxRows(a) => {
+                    // dL/dz_ij = p_ij * (g_ij - Σ_k g_ik p_ik)
+                    let p = &self.nodes[idx].value;
+                    let mut gz = Matrix::zeros(p.rows(), p.cols());
+                    for i in 0..p.rows() {
+                        let dot: f32 = grad
+                            .row(i)
+                            .iter()
+                            .zip(p.row(i))
+                            .map(|(g, pi)| g * pi)
+                            .sum();
+                        for j in 0..p.cols() {
+                            gz.set(i, j, p.get(i, j) * (grad.get(i, j) - dot));
+                        }
+                    }
+                    accumulate(&mut grads, *a, gz);
+                }
+                Op::SliceCols { input, start, width } => {
+                    let v = &self.nodes[input.0].value;
+                    let mut gi = Matrix::zeros(v.rows(), v.cols());
+                    for i in 0..grad.rows() {
+                        for j in 0..*width {
+                            gi.set(i, start + j, grad.get(i, j));
+                        }
+                    }
+                    accumulate(&mut grads, *input, gi);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut offset = 0;
+                    for part in parts {
+                        let width = self.nodes[part.0].value.cols();
+                        let gp = grad.slice_cols(offset, width);
+                        accumulate(&mut grads, *part, gp);
+                        offset += width;
+                    }
+                }
+                Op::MeanAll(a) => {
+                    let v = &self.nodes[a.0].value;
+                    let g = grad.item() / v.len().max(1) as f32;
+                    accumulate(&mut grads, *a, Matrix::full(v.rows(), v.cols(), g));
+                }
+                Op::SumAll(a) => {
+                    let v = &self.nodes[a.0].value;
+                    accumulate(&mut grads, *a, Matrix::full(v.rows(), v.cols(), grad.item()));
+                }
+                Op::WeightedBceWithLogits { logits, targets, weights } => {
+                    // d/dz of mean_i w_i * bce = w_i (sigmoid(z_i) - y_i) / n
+                    let z = &self.nodes[logits.0].value;
+                    let n = z.rows().max(1) as f32;
+                    let g = grad.item();
+                    let mut gz = Matrix::zeros(z.rows(), 1);
+                    for i in 0..z.rows() {
+                        let s = 1.0 / (1.0 + (-z.get(i, 0)).exp());
+                        gz.set(i, 0, g * weights.get(i, 0) * (s - targets.get(i, 0)) / n);
+                    }
+                    accumulate(&mut grads, *logits, gz);
+                }
+                Op::KlConstRows { probs, target, eps } => {
+                    // d/dp_ij of mean_i Σ_j q_j ln(q_j/(p_ij+eps)) = -q_j/(p_ij+eps)/n
+                    let p = &self.nodes[probs.0].value;
+                    let n = p.rows().max(1) as f32;
+                    let g = grad.item();
+                    let mut gp = Matrix::zeros(p.rows(), p.cols());
+                    for i in 0..p.rows() {
+                        for j in 0..p.cols() {
+                            let q = target.get(0, j);
+                            if q > 0.0 {
+                                gp.set(i, j, -g * q / ((p.get(i, j) + eps) * n));
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, *probs, gp);
+                }
+            }
+        }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], var: Var, grad: Matrix) {
+    match &mut grads[var.0] {
+        Some(existing) => existing.add_assign(&grad),
+        slot => *slot = Some(grad),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamSet;
+
+    fn approx(a: f32, b: f32, tol: f32) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn backward_through_matmul() {
+        // L = sum(A @ B); dL/dA = 1 Bᵀ, dL/dB = Aᵀ 1
+        let mut params = ParamSet::new();
+        let a_id = params.insert("a", Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let b_id = params.insert("b", Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]));
+        let mut g = Graph::new();
+        let a = g.param(&params, a_id);
+        let b = g.param(&params, b_id);
+        let c = g.matmul(a, b);
+        let loss = g.sum_all(c);
+        g.backward(loss, &mut params);
+        // dL/dA = ones(2,2) @ Bᵀ = [[11, 15], [11, 15]]
+        assert_eq!(params.grad(a_id).as_slice(), &[11.0, 15.0, 11.0, 15.0]);
+        // dL/dB = Aᵀ @ ones = [[4, 4], [6, 6]]
+        assert_eq!(params.grad(b_id).as_slice(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn backward_through_softmax_is_zero_for_uniform_upstream() {
+        // Σ_j softmax_j is constant 1, so d(sum softmax)/dz = 0.
+        let mut params = ParamSet::new();
+        let z_id = params.insert("z", Matrix::from_rows(&[vec![0.3, -1.2, 2.0]]));
+        let mut g = Graph::new();
+        let z = g.param(&params, z_id);
+        let p = g.softmax_rows(z);
+        let loss = g.sum_all(p);
+        g.backward(loss, &mut params);
+        for &v in params.grad(z_id).as_slice() {
+            assert!(approx(v, 0.0, 1e-6), "grad {v} should vanish");
+        }
+    }
+
+    #[test]
+    fn bce_gradient_matches_sigmoid_minus_target() {
+        let mut params = ParamSet::new();
+        let z_id = params.insert("z", Matrix::from_vec(2, 1, vec![0.5, -1.0]));
+        let mut g = Graph::new();
+        let z = g.param(&params, z_id);
+        let targets = Matrix::from_vec(2, 1, vec![1.0, 0.0]);
+        let loss = g.bce_with_logits(z, targets);
+        g.backward(loss, &mut params);
+        let s0 = 1.0 / (1.0 + (-0.5f32).exp());
+        let s1 = 1.0 / (1.0 + (1.0f32).exp());
+        assert!(approx(params.grad(z_id).get(0, 0), (s0 - 1.0) / 2.0, 1e-6));
+        assert!(approx(params.grad(z_id).get(1, 0), s1 / 2.0, 1e-6));
+    }
+
+    #[test]
+    fn kl_is_zero_when_distributions_match() {
+        let mut g = Graph::new();
+        let p = g.constant(Matrix::from_rows(&[vec![0.25, 0.75], vec![0.25, 0.75]]));
+        let q = Matrix::from_rows(&[vec![0.25, 0.75]]);
+        let kl = g.kl_const_rows(p, q, 0.0);
+        assert!(approx(g.value(kl).item(), 0.0, 1e-6));
+    }
+
+    #[test]
+    fn kl_is_positive_when_distributions_differ() {
+        let mut g = Graph::new();
+        let p = g.constant(Matrix::from_rows(&[vec![0.9, 0.1]]));
+        let q = Matrix::from_rows(&[vec![0.1, 0.9]]);
+        let kl = g.kl_const_rows(p, q, 0.0);
+        assert!(g.value(kl).item() > 0.5);
+    }
+
+    #[test]
+    fn chained_linear_relu_shapes() {
+        let mut params = ParamSet::new();
+        let w_id = params.insert("w", Matrix::zeros(3, 4));
+        let b_id = params.insert("b", Matrix::zeros(1, 4));
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::full(5, 3, 1.0));
+        let w = g.param(&params, w_id);
+        let b = g.param(&params, b_id);
+        let y = g.linear_relu(x, w, b);
+        assert_eq!(g.value(y).shape(), (5, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_rejects_non_scalar_root() {
+        let mut params = ParamSet::new();
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::zeros(2, 2));
+        g.backward(x, &mut params);
+    }
+}
+
+#[cfg(test)]
+mod shape_guard_tests {
+    use super::*;
+    use crate::params::ParamSet;
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch_panics() {
+        let mut g = Graph::new();
+        let a = g.constant(Matrix::zeros(2, 3));
+        let b = g.constant(Matrix::zeros(2, 3));
+        let _ = g.matmul(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bce")]
+    fn bce_rejects_wide_logits() {
+        let mut g = Graph::new();
+        let z = g.constant(Matrix::zeros(2, 2));
+        let _ = g.bce_with_logits(z, Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "kl_const_rows")]
+    fn kl_rejects_matrix_target() {
+        let mut g = Graph::new();
+        let p = g.constant(Matrix::zeros(2, 3));
+        let _ = g.kl_const_rows(p, Matrix::zeros(2, 3), 1e-8);
+    }
+
+    #[test]
+    fn second_backward_on_fresh_graph_is_consistent() {
+        // Gradients accumulate across backward calls on the same ParamSet
+        // unless zeroed — verify both behaviors.
+        let mut params = ParamSet::new();
+        let w = params.insert("w", Matrix::scalar(2.0));
+        let run = |params: &mut ParamSet| {
+            let mut g = Graph::new();
+            let wv = g.param(params, w);
+            let sq = g.mul(wv, wv);
+            let loss = g.sum_all(sq);
+            g.backward(loss, params);
+        };
+        run(&mut params);
+        assert_eq!(params.grad(w).item(), 4.0);
+        run(&mut params);
+        assert_eq!(params.grad(w).item(), 8.0, "gradients must accumulate");
+        params.zero_grads();
+        run(&mut params);
+        assert_eq!(params.grad(w).item(), 4.0);
+    }
+
+    #[test]
+    fn constants_receive_no_parameter_gradient() {
+        let mut params = ParamSet::new();
+        let w = params.insert("w", Matrix::scalar(1.0));
+        let mut g = Graph::new();
+        let c = g.constant(Matrix::scalar(5.0));
+        let wv = g.param(&params, w);
+        let prod = g.mul(c, wv);
+        let loss = g.sum_all(prod);
+        g.backward(loss, &mut params);
+        assert_eq!(params.grad(w).item(), 5.0);
+    }
+}

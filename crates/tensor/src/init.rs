@@ -1,0 +1,57 @@
+//! Weight initialization schemes.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Glorot/Xavier uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Appropriate for tanh layers like the
+/// attention head.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    random_uniform(rows, cols, -a, a, rng)
+}
+
+/// He/Kaiming uniform initialization: `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+/// Appropriate for ReLU layers (the per-feature affine and classifier).
+pub fn he_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / rows.max(1) as f32).sqrt();
+    random_uniform(rows, cols, -a, a, rng)
+}
+
+/// Uniform initialization in `[lo, hi)`.
+pub fn random_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Matrix {
+    let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = xavier_uniform(10, 20, &mut rng);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= a));
+        // Not degenerate: values differ.
+        assert!(m.as_slice().iter().any(|&v| v != m.get(0, 0)));
+    }
+
+    #[test]
+    fn he_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = he_uniform(24, 8, &mut rng);
+        let a = (6.0f32 / 24.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= a));
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(1));
+        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

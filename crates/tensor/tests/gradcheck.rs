@@ -1,0 +1,238 @@
+//! Property-based gradient checks: every differentiable op's analytic
+//! backward pass is compared against central finite differences on random
+//! inputs.
+
+use adamel_tensor::{Graph, Matrix, ParamId, ParamSet};
+use proptest::prelude::*;
+
+/// Builds a scalar loss from a parameter matrix.
+type LossFn = dyn Fn(&mut Graph, &ParamSet, ParamId) -> adamel_tensor::Var;
+
+/// Computes the analytic gradient and compares it elementwise to a central
+/// finite difference with step `h`, using a mixed absolute/relative
+/// tolerance.
+fn gradcheck(mut values: Matrix, build: &LossFn, h: f32, tol: f32) {
+    let mut params = ParamSet::new();
+    let id = params.insert("p", values.clone());
+
+    // Analytic gradient.
+    let mut g = Graph::new();
+    let loss = build(&mut g, &params, id);
+    g.backward(loss, &mut params);
+    let analytic = params.grad(id).clone();
+
+    // Finite differences.
+    for i in 0..values.rows() {
+        for j in 0..values.cols() {
+            let orig = values.get(i, j);
+
+            values.set(i, j, orig + h);
+            let mut pp = ParamSet::new();
+            let idp = pp.insert("p", values.clone());
+            let mut gp = Graph::new();
+            let lp = build(&mut gp, &pp, idp);
+            let up = gp.value(lp).item();
+
+            values.set(i, j, orig - h);
+            let mut pm = ParamSet::new();
+            let idm = pm.insert("p", values.clone());
+            let mut gm = Graph::new();
+            let lm = build(&mut gm, &pm, idm);
+            let down = gm.value(lm).item();
+
+            values.set(i, j, orig);
+
+            let numeric = (up - down) / (2.0 * h);
+            let a = analytic.get(i, j);
+            let denom = 1.0f32.max(a.abs()).max(numeric.abs());
+            assert!(
+                (a - numeric).abs() / denom < tol,
+                "grad mismatch at ({i},{j}): analytic {a}, numeric {numeric}"
+            );
+        }
+    }
+}
+
+/// Random matrix strategy with entries in a range that keeps finite
+/// differences well conditioned.
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_grad(m in small_matrix(3, 4)) {
+        let rhs = Matrix::from_rows(&[
+            vec![0.5, -1.0], vec![1.5, 0.3], vec![-0.7, 2.0], vec![0.2, 0.9],
+        ]);
+        gradcheck(m, &move |g, p, id| {
+            let x = g.param(p, id);
+            let w = g.constant(rhs.clone());
+            let y = g.matmul(x, w);
+            g.sum_all(y)
+        }, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn matmul_rhs_grad(m in small_matrix(4, 2)) {
+        let lhs = Matrix::from_rows(&[vec![0.5, -1.0, 1.5, 0.3], vec![-0.7, 2.0, 0.2, 0.9]]);
+        gradcheck(m, &move |g, p, id| {
+            let w = g.param(p, id);
+            let x = g.constant(lhs.clone());
+            let y = g.matmul(x, w);
+            g.sum_all(y)
+        }, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn tanh_grad(m in small_matrix(2, 3)) {
+        gradcheck(m, &|g, p, id| {
+            let x = g.param(p, id);
+            let y = g.tanh(x);
+            // Weight elements unevenly so the upstream grad is non-uniform.
+            let w = g.constant(Matrix::from_rows(&[
+                vec![1.0, -2.0, 0.5], vec![0.3, 1.7, -1.1],
+            ]));
+            let wy = g.mul(y, w);
+            g.sum_all(wy)
+        }, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn sigmoid_grad(m in small_matrix(2, 2)) {
+        gradcheck(m, &|g, p, id| {
+            let x = g.param(p, id);
+            let y = g.sigmoid(x);
+            let sq = g.mul(y, y);
+            g.mean_all(sq)
+        }, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn softmax_grad(m in small_matrix(2, 4)) {
+        gradcheck(m, &|g, p, id| {
+            let x = g.param(p, id);
+            let s = g.softmax_rows(x);
+            let w = g.constant(Matrix::from_rows(&[
+                vec![1.0, -1.0, 2.0, 0.5], vec![0.0, 3.0, -2.0, 1.0],
+            ]));
+            let ws = g.mul(s, w);
+            g.sum_all(ws)
+        }, 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn add_row_broadcast_grad(m in small_matrix(1, 3)) {
+        gradcheck(m, &|g, p, id| {
+            let b = g.param(p, id);
+            let x = g.constant(Matrix::from_rows(&[
+                vec![1.0, 2.0, 3.0], vec![-1.0, 0.5, 0.0],
+            ]));
+            let y = g.add_row_broadcast(x, b);
+            let sq = g.mul(y, y);
+            g.sum_all(sq)
+        }, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn mul_col_broadcast_grad(m in small_matrix(3, 1)) {
+        gradcheck(m, &|g, p, id| {
+            let c = g.param(p, id);
+            let x = g.constant(Matrix::from_rows(&[
+                vec![1.0, 2.0], vec![-1.0, 0.5], vec![0.3, -0.7],
+            ]));
+            let y = g.mul_col_broadcast(x, c);
+            let sq = g.mul(y, y);
+            g.sum_all(sq)
+        }, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn bce_with_logits_grad(m in small_matrix(4, 1)) {
+        gradcheck(m, &|g, p, id| {
+            let z = g.param(p, id);
+            let targets = Matrix::from_vec(4, 1, vec![1.0, 0.0, 1.0, 0.0]);
+            g.bce_with_logits(z, targets)
+        }, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn weighted_bce_grad(m in small_matrix(3, 1)) {
+        gradcheck(m, &|g, p, id| {
+            let z = g.param(p, id);
+            let targets = Matrix::from_vec(3, 1, vec![1.0, 0.0, 1.0]);
+            let weights = Matrix::from_vec(3, 1, vec![0.5, 2.0, 1.3]);
+            g.weighted_bce_with_logits(z, targets, weights)
+        }, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn kl_through_softmax_grad(m in small_matrix(2, 3)) {
+        gradcheck(m, &|g, p, id| {
+            let z = g.param(p, id);
+            let probs = g.softmax_rows(z);
+            let target = Matrix::from_rows(&[vec![0.2, 0.3, 0.5]]);
+            g.kl_const_rows(probs, target, 1e-8)
+        }, 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn concat_cols_grad(m in small_matrix(2, 2)) {
+        gradcheck(m, &|g, p, id| {
+            let x = g.param(p, id);
+            let other = g.constant(Matrix::from_rows(&[vec![1.0, 5.0], vec![2.0, 6.0]]));
+            let cat = g.concat_cols(&[x, other, x]);
+            let w = g.constant(Matrix::from_rows(&[
+                vec![1.0, -1.0, 0.5, 2.0, 3.0, -2.0],
+                vec![0.2, 0.4, -0.6, 1.2, -1.0, 0.7],
+            ]));
+            let wy = g.mul(cat, w);
+            g.sum_all(wy)
+        }, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn full_adamel_style_stack_grad(m in small_matrix(3, 2)) {
+        // relu(x @ V + b) -> attention -> weighted concat -> linear: the
+        // actual composition AdaMEL uses, end to end through one parameter.
+        gradcheck(m, &|g, p, id| {
+            let w = g.param(p, id);
+            let x = g.constant(Matrix::from_rows(&[
+                vec![1.0, 0.5, -0.3], vec![0.2, -1.0, 0.8],
+            ]));
+            let b = g.constant(Matrix::from_rows(&[vec![0.1, -0.1]]));
+            let h = g.linear(x, w, b);
+            let hr = g.tanh(h);
+            let a = g.constant(Matrix::from_rows(&[vec![1.0], vec![-1.0]]));
+            let e = g.matmul(hr, a);
+            let e_t = g.constant(Matrix::from_rows(&[vec![0.4], vec![0.6]]));
+            let scores = g.concat_cols(&[e, e_t]);
+            let probs = g.softmax_rows(scores);
+            let target = Matrix::from_rows(&[vec![0.5, 0.5]]);
+            let kl = g.kl_const_rows(probs, target, 1e-8);
+            let logits = g.matmul(hr, a);
+            let bce = g.bce_with_logits(logits, Matrix::from_vec(2, 1, vec![1.0, 0.0]));
+            let kl_scaled = g.scale(kl, 0.7);
+            let bce_scaled = g.scale(bce, 0.3);
+            g.add(kl_scaled, bce_scaled)
+        }, 1e-2, 4e-2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn slice_cols_grad(m in small_matrix(2, 4)) {
+        gradcheck(m, &|g, p, id| {
+            let x = g.param(p, id);
+            let left = g.slice_cols(x, 0, 2);
+            let right = g.slice_cols(x, 2, 2);
+            let prod = g.mul(left, right);
+            g.sum_all(prod)
+        }, 1e-2, 2e-2);
+    }
+}

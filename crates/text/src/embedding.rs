@@ -1,0 +1,257 @@
+//! Hashed subword embeddings simulating pretrained FastText.
+//!
+//! The paper embeds attribute word tokens with pretrained 300-d FastText and
+//! *sums* them per feature (Eq. 3) — it deliberately avoids sophisticated
+//! sequence modeling. FastText itself represents a token as the sum of its
+//! character n-gram vectors; we reproduce that construction with
+//! deterministically *hashed* n-gram vectors instead of learned ones:
+//!
+//! * identical tokens map to identical vectors (what drives `sim(A)`);
+//! * near-duplicate strings ("beatles" / "beatle") share most n-grams and so
+//!   land nearby;
+//! * unrelated tokens are near-orthogonal in expectation.
+//!
+//! Those are the only properties AdaMEL's summed-bag representation relies
+//! on, which is why this substitution preserves the experiments' behaviour
+//! (see DESIGN.md §2).
+
+use adamel_tensor::Matrix;
+
+/// FNV-1a 64-bit hash; stable across platforms and runs.
+fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// splitmix64: expands one 64-bit state into a stream of well-distributed
+/// values, used to derive the pseudo-random n-gram vectors.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic hashed n-gram embedder with a FastText-like bag-of-subwords
+/// token representation.
+#[derive(Debug, Clone)]
+pub struct HashedFastText {
+    dim: usize,
+    min_ngram: usize,
+    max_ngram: usize,
+    seed: u64,
+}
+
+impl HashedFastText {
+    /// Creates an embedder producing `dim`-dimensional vectors from character
+    /// n-grams in `[min_ngram, max_ngram]` (FastText defaults are 3..=6; we
+    /// default to 3..=5 for speed) plus the whole token.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "HashedFastText: dim must be positive");
+        Self { dim, min_ngram: 3, max_ngram: 5, seed }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The pseudo-random unit-scaled vector of one hashed key.
+    fn hashed_vector(&self, key: &str, out: &mut [f32]) {
+        let mut state = fnv1a(key.as_bytes(), self.seed);
+        let scale = 1.0 / (self.dim as f32).sqrt();
+        for v in out.iter_mut() {
+            let r = splitmix64(&mut state);
+            // Map to approximately uniform in [-1, 1].
+            let u = (r >> 11) as f32 / (1u64 << 53) as f32; // [0,1)
+            *v += (2.0 * u - 1.0) * scale;
+        }
+    }
+
+    /// Embeds one (already normalized) token as the L2-normalized sum of its
+    /// boundary-marked character n-gram vectors plus the whole-word vector.
+    pub fn embed_token(&self, token: &str) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim];
+        if token.is_empty() {
+            return self.missing_vector().into_vec();
+        }
+        // Whole word with boundary markers, like FastText's `<word>` entry.
+        let marked: Vec<char> = std::iter::once('<')
+            .chain(token.chars())
+            .chain(std::iter::once('>'))
+            .collect();
+        let whole: String = marked.iter().collect();
+        self.hashed_vector(&whole, &mut acc);
+        let mut buf = String::new();
+        for n in self.min_ngram..=self.max_ngram {
+            if marked.len() < n {
+                break;
+            }
+            for start in 0..=(marked.len() - n) {
+                buf.clear();
+                buf.extend(&marked[start..start + n]);
+                self.hashed_vector(&buf, &mut acc);
+            }
+        }
+        l2_normalize(&mut acc);
+        acc
+    }
+
+    /// Sums token embeddings into one `1 x dim` row (the paper's per-feature
+    /// summarization). Empty input produces the fixed missing-value vector.
+    pub fn embed_tokens(&self, tokens: &[String]) -> Matrix {
+        if tokens.is_empty() {
+            return self.missing_vector();
+        }
+        let mut acc = vec![0.0f32; self.dim];
+        for t in tokens {
+            for (a, b) in acc.iter_mut().zip(self.embed_token(t)) {
+                *a += b;
+            }
+        }
+        Matrix::from_vec(1, self.dim, acc)
+    }
+
+    /// The fixed normalized non-zero vector used to initialize missing
+    /// attribute values (paper §4.3: "initializes the missing attribute
+    /// values ... with a fixed normalized non-zero vector").
+    pub fn missing_vector(&self) -> Matrix {
+        let mut acc = vec![0.0f32; self.dim];
+        self.hashed_vector("\u{0}__MISSING__\u{0}", &mut acc);
+        l2_normalize(&mut acc);
+        Matrix::from_vec(1, self.dim, acc)
+    }
+
+    /// Cosine similarity between the bag embeddings of two token lists;
+    /// convenience for baselines.
+    pub fn cosine(&self, a: &[String], b: &[String]) -> f32 {
+        let va = self.embed_tokens(a);
+        let vb = self.embed_tokens(b);
+        cosine_slices(va.as_slice(), vb.as_slice())
+    }
+}
+
+fn l2_normalize(v: &mut [f32]) {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        v.iter_mut().for_each(|x| *x /= norm);
+    }
+}
+
+/// Cosine similarity between two equal-length slices (0.0 when either is a
+/// zero vector).
+pub fn cosine_slices(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine_slices length mismatch");
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ft() -> HashedFastText {
+        HashedFastText::new(64, 42)
+    }
+
+    fn v(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = HashedFastText::new(32, 7).embed_token("beatles");
+        let b = HashedFastText::new(32, 7).embed_token("beatles");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_changes_embedding() {
+        let a = HashedFastText::new(32, 7).embed_token("beatles");
+        let b = HashedFastText::new(32, 8).embed_token("beatles");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn token_embedding_is_unit_norm() {
+        let e = ft().embed_token("hello");
+        let norm: f32 = e.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn near_duplicates_are_closer_than_unrelated() {
+        let f = ft();
+        let sim_close = cosine_slices(&f.embed_token("beatles"), &f.embed_token("beatle"));
+        let sim_far = cosine_slices(&f.embed_token("beatles"), &f.embed_token("xylophone"));
+        assert!(
+            sim_close > sim_far + 0.2,
+            "close {sim_close} should exceed far {sim_far}"
+        );
+        assert!(sim_close > 0.5);
+    }
+
+    #[test]
+    fn unrelated_tokens_near_orthogonal() {
+        let f = ft();
+        let s = cosine_slices(&f.embed_token("monitor"), &f.embed_token("jazz"));
+        assert!(s.abs() < 0.4, "unexpectedly correlated: {s}");
+    }
+
+    #[test]
+    fn missing_vector_is_fixed_nonzero_unit() {
+        let f = ft();
+        let m1 = f.missing_vector();
+        let m2 = f.missing_vector();
+        assert_eq!(m1, m2);
+        assert!((m1.norm() - 1.0).abs() < 1e-5);
+        assert_eq!(f.embed_tokens(&[]), m1);
+    }
+
+    #[test]
+    fn bag_embedding_is_order_invariant() {
+        let f = ft();
+        let ab = f.embed_tokens(&v(&["hey", "jude"]));
+        let ba = f.embed_tokens(&v(&["jude", "hey"]));
+        for (x, y) in ab.as_slice().iter().zip(ba.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cosine_of_identical_bags_is_one() {
+        let f = ft();
+        let c = f.cosine(&v(&["abbey", "road"]), &v(&["abbey", "road"]));
+        assert!((c - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn short_token_handled() {
+        let f = ft();
+        let e = f.embed_token("a");
+        let norm: f32 = e.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_token_maps_to_missing() {
+        let f = ft();
+        assert_eq!(f.embed_token(""), f.missing_vector().into_vec());
+    }
+}

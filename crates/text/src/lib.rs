@@ -1,0 +1,25 @@
+//! # adamel-text
+//!
+//! Text processing for the AdaMEL reproduction: normalization, word
+//! tokenization, FastText-style hashed subword embeddings, classical string
+//! similarity measures (for the TLER baseline), and TF-IDF statistics (for
+//! the Ditto baseline's input summarization and the paper's data analysis).
+//!
+//! The paper embeds tokens with pretrained 300-d FastText; since no
+//! pretrained weights can be shipped here, [`HashedFastText`] reproduces the
+//! bag-of-character-n-grams construction with deterministic hashed vectors.
+//! See the module docs of [`embedding`] and DESIGN.md §2 for why this
+//! preserves the experiments' behaviour.
+
+#![warn(missing_docs)]
+
+pub mod embedding;
+pub mod normalize;
+pub mod similarity;
+pub mod tfidf;
+pub mod tokenize;
+
+pub use embedding::{cosine_slices, HashedFastText};
+pub use normalize::{is_missing, normalize};
+pub use tfidf::{TfIdf, TokenFrequency};
+pub use tokenize::{shared_and_unique, tokenize, tokenize_cropped};

@@ -1,0 +1,104 @@
+//! Text normalization: lowercasing, diacritic folding, punctuation and
+//! whitespace cleanup.
+//!
+//! The music corpora in the paper contain non-English characters and
+//! diacritics ("many entities are recorded with non-English characters &
+//! phrases"); folding them makes hashed subword embeddings of variant
+//! spellings collide the way FastText's learned subwords would cluster them.
+
+/// Folds a single character to its unaccented lowercase ASCII equivalent
+/// where a standard Latin mapping exists; other characters pass through
+/// lowercased.
+pub fn fold_char(c: char) -> char {
+    let c = c.to_lowercase().next().unwrap_or(c);
+    match c {
+        'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' | 'ā' | 'ă' | 'ą' => 'a',
+        'è' | 'é' | 'ê' | 'ë' | 'ē' | 'ĕ' | 'ė' | 'ę' | 'ě' => 'e',
+        'ì' | 'í' | 'î' | 'ï' | 'ĩ' | 'ī' | 'į' => 'i',
+        'ò' | 'ó' | 'ô' | 'õ' | 'ö' | 'ø' | 'ō' | 'ő' => 'o',
+        'ù' | 'ú' | 'û' | 'ü' | 'ũ' | 'ū' | 'ů' | 'ű' => 'u',
+        'ç' | 'ć' | 'č' => 'c',
+        'ñ' | 'ń' | 'ň' => 'n',
+        'ß' => 's',
+        'š' | 'ś' => 's',
+        'ž' | 'ź' | 'ż' => 'z',
+        'ý' | 'ÿ' => 'y',
+        'ł' => 'l',
+        'đ' | 'ď' => 'd',
+        'ť' => 't',
+        'ř' => 'r',
+        _ => c,
+    }
+}
+
+/// Normalizes a string: lowercase, fold diacritics, map punctuation to
+/// spaces, collapse runs of whitespace, and trim.
+pub fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut last_space = true;
+    for c in text.chars() {
+        let c = fold_char(c);
+        let mapped = if c.is_alphanumeric() { Some(c) } else { None };
+        match mapped {
+            Some(c) => {
+                out.push(c);
+                last_space = false;
+            }
+            None => {
+                if !last_space {
+                    out.push(' ');
+                    last_space = true;
+                }
+            }
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// True when a value is missing for linkage purposes: empty or whitespace /
+/// punctuation only after normalization.
+pub fn is_missing(text: &str) -> bool {
+    normalize(text).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_folds() {
+        assert_eq!(normalize("Héllo WÖRLD"), "hello world");
+        assert_eq!(normalize("Björk"), "bjork");
+        assert_eq!(normalize("Dvořák"), "dvorak");
+    }
+
+    #[test]
+    fn punctuation_becomes_single_space() {
+        assert_eq!(normalize("hey,  jude!!"), "hey jude");
+        assert_eq!(normalize("p.m."), "p m");
+        assert_eq!(normalize("rock&roll"), "rock roll");
+    }
+
+    #[test]
+    fn trims_and_collapses() {
+        assert_eq!(normalize("  a   b  "), "a b");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("---"), "");
+    }
+
+    #[test]
+    fn missing_detection() {
+        assert!(is_missing(""));
+        assert!(is_missing("   "));
+        assert!(is_missing("?!"));
+        assert!(!is_missing("x"));
+    }
+
+    #[test]
+    fn digits_survive() {
+        assert_eq!(normalize("24\" LED 1080p"), "24 led 1080p");
+    }
+}

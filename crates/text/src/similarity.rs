@@ -1,0 +1,181 @@
+//! Classical string-similarity measures used by the TLER baseline's
+//! engineered feature space and by blocking.
+
+use std::collections::HashSet;
+
+/// Levenshtein edit distance between two strings (by chars).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein similarity normalized to `[0, 1]` (1 = identical).
+pub fn levenshtein_similarity(a: &str, b: &str) -> f32 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f32 / max_len as f32
+}
+
+/// Jaccard similarity of two token sets.
+pub fn jaccard(a: &[String], b: &[String]) -> f32 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: HashSet<&str> = a.iter().map(String::as_str).collect();
+    let sb: HashSet<&str> = b.iter().map(String::as_str).collect();
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    if union == 0 {
+        1.0
+    } else {
+        inter as f32 / union as f32
+    }
+}
+
+/// Overlap (containment) coefficient: `|A ∩ B| / min(|A|, |B|)`.
+pub fn overlap_coefficient(a: &[String], b: &[String]) -> f32 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let sa: HashSet<&str> = a.iter().map(String::as_str).collect();
+    let sb: HashSet<&str> = b.iter().map(String::as_str).collect();
+    let inter = sa.intersection(&sb).count();
+    inter as f32 / sa.len().min(sb.len()) as f32
+}
+
+/// Common-prefix ratio of two raw strings: `|lcp| / max(|a|, |b|)`.
+/// A classical char-level measure — brittle to reordering by design.
+pub fn prefix_similarity(a: &str, b: &str) -> f32 {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    let max_len = ac.len().max(bc.len());
+    if max_len == 0 {
+        return 1.0;
+    }
+    let lcp = ac.iter().zip(&bc).take_while(|(x, y)| x == y).count();
+    lcp as f32 / max_len as f32
+}
+
+/// Monge-Elkan style similarity: for each token in `a`, the best
+/// Levenshtein similarity against tokens of `b`, averaged. Asymmetric inputs
+/// are handled by symmetrizing.
+pub fn monge_elkan(a: &[String], b: &[String]) -> f32 {
+    fn one_way(a: &[String], b: &[String]) -> f32 {
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let total: f32 = a
+            .iter()
+            .map(|ta| {
+                b.iter()
+                    .map(|tb| levenshtein_similarity(ta, tb))
+                    .fold(0.0f32, f32::max)
+            })
+            .sum();
+        total / a.len() as f32
+    }
+    0.5 * (one_way(a, b) + one_way(b, a))
+}
+
+/// Exact-match indicator on joined tokens.
+pub fn exact_match(a: &[String], b: &[String]) -> f32 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0; // both missing carries no evidence
+    }
+    f32::from(a == b)
+}
+
+/// Absolute difference of numeric prefixes, normalized; 0 when either value
+/// has no parseable number. Useful for prices/sizes in the monitor corpus.
+pub fn numeric_similarity(a: &[String], b: &[String]) -> f32 {
+    let na = first_number(a);
+    let nb = first_number(b);
+    match (na, nb) {
+        (Some(x), Some(y)) => {
+            let denom = x.abs().max(y.abs()).max(1.0);
+            1.0 - ((x - y).abs() / denom).min(1.0) as f32
+        }
+        _ => 0.0,
+    }
+}
+
+fn first_number(tokens: &[String]) -> Option<f64> {
+    tokens.iter().find_map(|t| t.parse::<f64>().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+    }
+
+    #[test]
+    fn levenshtein_similarity_bounds() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(&v(&["a", "b"]), &v(&["b", "c"])), 1.0 / 3.0);
+        assert_eq!(jaccard(&[], &[]), 1.0);
+        assert_eq!(jaccard(&v(&["a"]), &[]), 0.0);
+    }
+
+    #[test]
+    fn overlap_favors_subsets() {
+        assert_eq!(overlap_coefficient(&v(&["a", "b"]), &v(&["a", "b", "c", "d"])), 1.0);
+        assert_eq!(overlap_coefficient(&v(&["a"]), &[]), 0.0);
+    }
+
+    #[test]
+    fn monge_elkan_tolerates_typos() {
+        let s = monge_elkan(&v(&["beatles"]), &v(&["beatle"]));
+        assert!(s > 0.8);
+        let far = monge_elkan(&v(&["beatles"]), &v(&["zzzzz"]));
+        assert!(far < 0.35);
+    }
+
+    #[test]
+    fn numeric_similarity_parses() {
+        assert!(numeric_similarity(&v(&["24"]), &v(&["24"])) > 0.99);
+        assert!(numeric_similarity(&v(&["24"]), &v(&["27"])) < 0.95);
+        assert_eq!(numeric_similarity(&v(&["lcd"]), &v(&["24"])), 0.0);
+    }
+
+    #[test]
+    fn exact_match_indicator() {
+        assert_eq!(exact_match(&v(&["a"]), &v(&["a"])), 1.0);
+        assert_eq!(exact_match(&v(&["a"]), &v(&["b"])), 0.0);
+        assert_eq!(exact_match(&[], &[]), 0.0);
+    }
+}

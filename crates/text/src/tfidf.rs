@@ -1,0 +1,173 @@
+//! TF-IDF corpus statistics.
+//!
+//! Used by the Ditto baseline's "retain high TF-IDF tokens" input
+//! summarization and by the data-analysis experiments (Fig. 12's token
+//! frequency distributions).
+
+use std::collections::HashMap;
+
+/// Document-frequency statistics accumulated over a corpus of token lists.
+#[derive(Debug, Default, Clone)]
+pub struct TfIdf {
+    doc_freq: HashMap<String, usize>,
+    num_docs: usize,
+}
+
+impl TfIdf {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one document (deduplicating tokens for document frequency).
+    pub fn add_document(&mut self, tokens: &[String]) {
+        self.num_docs += 1;
+        let mut seen = std::collections::HashSet::new();
+        for t in tokens {
+            if seen.insert(t.as_str()) {
+                *self.doc_freq.entry(t.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Number of documents seen.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Smoothed inverse document frequency of a token.
+    pub fn idf(&self, token: &str) -> f32 {
+        let df = self.doc_freq.get(token).copied().unwrap_or(0);
+        ((1.0 + self.num_docs as f32) / (1.0 + df as f32)).ln() + 1.0
+    }
+
+    /// TF-IDF scores for a document's tokens.
+    pub fn scores(&self, tokens: &[String]) -> Vec<(String, f32)> {
+        let mut tf: HashMap<&str, usize> = HashMap::new();
+        for t in tokens {
+            *tf.entry(t).or_insert(0) += 1;
+        }
+        tokens
+            .iter()
+            .map(|t| {
+                let tfv = tf[t.as_str()] as f32 / tokens.len().max(1) as f32;
+                (t.clone(), tfv * self.idf(t))
+            })
+            .collect()
+    }
+
+    /// Keeps the `k` highest-TF-IDF tokens of a document, preserving their
+    /// original order (Ditto's summarization step).
+    pub fn summarize(&self, tokens: &[String], k: usize) -> Vec<String> {
+        if tokens.len() <= k {
+            return tokens.to_vec();
+        }
+        let scored = self.scores(tokens);
+        // Rank indices by score descending; keep top-k positions.
+        let mut idx: Vec<usize> = (0..tokens.len()).collect();
+        idx.sort_by(|&a, &b| {
+            scored[b].1.partial_cmp(&scored[a].1).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut keep = vec![false; tokens.len()];
+        for &i in idx.iter().take(k) {
+            keep[i] = true;
+        }
+        tokens
+            .iter()
+            .zip(keep)
+            .filter(|(_, k)| *k)
+            .map(|(t, _)| t.clone())
+            .collect()
+    }
+}
+
+/// Raw token frequency counter (Fig. 12's "top-10 word tokens" analysis).
+#[derive(Debug, Default, Clone)]
+pub struct TokenFrequency {
+    counts: HashMap<String, usize>,
+    total: usize,
+}
+
+impl TokenFrequency {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts every token in the list.
+    pub fn add_tokens(&mut self, tokens: &[String]) {
+        for t in tokens {
+            *self.counts.entry(t.clone()).or_insert(0) += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Total tokens counted.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The `k` most frequent tokens with counts, ties broken
+    /// lexicographically for determinism.
+    pub fn top_k(&self, k: usize) -> Vec<(String, usize)> {
+        let mut entries: Vec<(String, usize)> =
+            self.counts.iter().map(|(t, &c)| (t.clone(), c)).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        entries.truncate(k);
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn idf_favors_rare_tokens() {
+        let mut t = TfIdf::new();
+        t.add_document(&doc(&["the", "cat"]));
+        t.add_document(&doc(&["the", "dog"]));
+        t.add_document(&doc(&["the", "fox"]));
+        assert!(t.idf("cat") > t.idf("the"));
+        assert!(t.idf("unseen") > t.idf("cat"));
+    }
+
+    #[test]
+    fn summarize_keeps_rare_tokens_in_order() {
+        let mut t = TfIdf::new();
+        for _ in 0..10 {
+            t.add_document(&doc(&["common", "filler"]));
+        }
+        t.add_document(&doc(&["rare", "gem"]));
+        let summarized = t.summarize(&doc(&["common", "rare", "filler", "gem"]), 2);
+        assert_eq!(summarized, doc(&["rare", "gem"]));
+    }
+
+    #[test]
+    fn summarize_noop_when_short() {
+        let t = TfIdf::new();
+        let d = doc(&["a", "b"]);
+        assert_eq!(t.summarize(&d, 5), d);
+    }
+
+    #[test]
+    fn token_frequency_top_k() {
+        let mut f = TokenFrequency::new();
+        f.add_tokens(&doc(&["lcd", "lcd", "led", "hdmi"]));
+        let top = f.top_k(2);
+        assert_eq!(top[0], ("lcd".to_string(), 2));
+        assert_eq!(top[1].1, 1);
+        assert_eq!(f.total(), 4);
+    }
+
+    #[test]
+    fn top_k_tie_break_deterministic() {
+        let mut f = TokenFrequency::new();
+        f.add_tokens(&doc(&["b", "a"]));
+        assert_eq!(f.top_k(2), vec![("a".to_string(), 1), ("b".to_string(), 1)]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Word tokenization over normalized text.
+
+use crate::normalize::normalize;
+
+/// Splits a raw attribute value into normalized word tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    normalize(text).split(' ').filter(|t| !t.is_empty()).map(str::to_owned).collect()
+}
+
+/// Tokenizes and keeps at most the first `crop` tokens — the paper's
+/// "cropping size = 20" applied to long attribute values.
+pub fn tokenize_cropped(text: &str, crop: usize) -> Vec<String> {
+    let mut tokens = tokenize(text);
+    tokens.truncate(crop);
+    tokens
+}
+
+/// Token multiset intersection and symmetric difference, the basis of the
+/// paper's contrastive relational features (Eq. 2).
+///
+/// Returns `(shared, unique)` where `shared` contains tokens present in both
+/// inputs (with multiplicity `min`) and `unique` the rest of the union.
+pub fn shared_and_unique(a: &[String], b: &[String]) -> (Vec<String>, Vec<String>) {
+    use std::collections::HashMap;
+    let mut counts_b: HashMap<&str, usize> = HashMap::new();
+    for t in b {
+        *counts_b.entry(t).or_insert(0) += 1;
+    }
+    let mut shared = Vec::new();
+    let mut unique = Vec::new();
+    for t in a {
+        match counts_b.get_mut(t.as_str()) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                shared.push(t.clone());
+            }
+            _ => unique.push(t.clone()),
+        }
+    }
+    // Remaining tokens of b (those not matched) are unique to b.
+    for t in b {
+        if let Some(c) = counts_b.get_mut(t.as_str()) {
+            if *c > 0 {
+                *c -= 1;
+                unique.push(t.clone());
+            }
+        }
+    }
+    (shared, unique)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        tokenize(s)
+    }
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(toks("Hey Jude"), vec!["hey", "jude"]);
+        assert_eq!(toks(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn cropping_limits_length() {
+        let long = (0..50).map(|i| i.to_string()).collect::<Vec<_>>().join(" ");
+        assert_eq!(tokenize_cropped(&long, 20).len(), 20);
+        assert_eq!(tokenize_cropped("a b", 20).len(), 2);
+    }
+
+    #[test]
+    fn shared_unique_partition_union() {
+        let a = toks("hey jude beatles");
+        let b = toks("hey jude paul");
+        let (shared, unique) = shared_and_unique(&a, &b);
+        assert_eq!(shared, vec!["hey", "jude"]);
+        let mut u = unique.clone();
+        u.sort();
+        assert_eq!(u, vec!["beatles", "paul"]);
+        // Partition property: |shared|*2 + |unique| == |a| + |b|
+        assert_eq!(shared.len() * 2 + unique.len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn multiset_semantics() {
+        let a = toks("la la land");
+        let b = toks("la land");
+        let (shared, unique) = shared_and_unique(&a, &b);
+        assert_eq!(shared, vec!["la", "land"]);
+        assert_eq!(unique, vec!["la"]);
+    }
+
+    #[test]
+    fn disjoint_inputs_are_all_unique() {
+        let a = toks("abc def");
+        let b = toks("xyz");
+        let (shared, unique) = shared_and_unique(&a, &b);
+        assert!(shared.is_empty());
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (s, u) = shared_and_unique(&[], &[]);
+        assert!(s.is_empty() && u.is_empty());
+        let (s, u) = shared_and_unique(&toks("a"), &[]);
+        assert!(s.is_empty());
+        assert_eq!(u, vec!["a"]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the text layer's invariants.
+
+use adamel_text::similarity::{jaccard, levenshtein, levenshtein_similarity, prefix_similarity};
+use adamel_text::{normalize, shared_and_unique, tokenize, HashedFastText};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn normalize_is_idempotent(s in ".{0,60}") {
+        let once = normalize(&s);
+        prop_assert_eq!(normalize(&once), once);
+    }
+
+    #[test]
+    fn normalized_text_is_lowercase_alphanumeric_and_spaces(s in ".{0,60}") {
+        let n = normalize(&s);
+        // Lowercasing is a fixpoint (some uppercase letters, e.g. the
+        // mathematical alphanumerics, have no lowercase mapping and pass
+        // through unchanged).
+        prop_assert!(n.chars().all(|c| c == ' '
+            || (c.is_alphanumeric() && c.to_lowercase().next() == Some(c))));
+        prop_assert!(!n.starts_with(' ') && !n.ends_with(' '));
+        prop_assert!(!n.contains("  "));
+    }
+
+    #[test]
+    fn tokenize_produces_no_empty_tokens(s in ".{0,80}") {
+        prop_assert!(tokenize(&s).iter().all(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn shared_unique_partition_token_count(a in "[a-z ]{0,40}", b in "[a-z ]{0,40}") {
+        let ta = tokenize(&a);
+        let tb = tokenize(&b);
+        let (shared, unique) = shared_and_unique(&ta, &tb);
+        // Multiset partition: every token accounted for exactly once.
+        prop_assert_eq!(2 * shared.len() + unique.len(), ta.len() + tb.len());
+    }
+
+    #[test]
+    fn shared_tokens_appear_in_both_inputs(a in "[a-z ]{0,40}", b in "[a-z ]{0,40}") {
+        let ta = tokenize(&a);
+        let tb = tokenize(&b);
+        let (shared, _) = shared_and_unique(&ta, &tb);
+        for t in &shared {
+            prop_assert!(ta.contains(t) && tb.contains(t));
+        }
+    }
+
+    #[test]
+    fn levenshtein_symmetry_and_identity(a in ".{0,25}", b in ".{0,25}") {
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+    }
+
+    #[test]
+    fn levenshtein_triangle_inequality(a in "[a-z]{0,12}", b in "[a-z]{0,12}", c in "[a-z]{0,12}") {
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn similarity_scores_bounded(a in ".{0,30}", b in ".{0,30}") {
+        let lv = levenshtein_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&lv));
+        let pf = prefix_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&pf));
+        let ja = jaccard(&tokenize(&a), &tokenize(&b));
+        prop_assert!((0.0..=1.0).contains(&ja));
+    }
+
+    #[test]
+    fn token_embeddings_are_unit_norm(token in "[a-z0-9]{1,20}") {
+        let ft = HashedFastText::new(32, 11);
+        let e = ft.embed_token(&token);
+        let norm: f32 = e.iter().map(|v| v * v).sum::<f32>().sqrt();
+        prop_assert!((norm - 1.0).abs() < 1e-4, "norm {}", norm);
+    }
+
+    #[test]
+    fn embedding_is_a_pure_function(token in "[a-z]{1,12}") {
+        let ft = HashedFastText::new(24, 3);
+        prop_assert_eq!(ft.embed_token(&token), ft.embed_token(&token));
+    }
+
+    #[test]
+    fn bag_embedding_permutation_invariant(mut words in proptest::collection::vec("[a-z]{1,8}", 1..6)) {
+        let ft = HashedFastText::new(24, 3);
+        let fwd = ft.embed_tokens(&words);
+        words.reverse();
+        let rev = ft.embed_tokens(&words);
+        for (a, b) in fwd.as_slice().iter().zip(rev.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Attention analysis: inspect the attribute importance AdaMEL learns as
+//! its transferable knowledge, then retrain on only the top attributes —
+//! the paper's Table 4/5 workflow, useful for schema debugging in practice.
+//!
+//! ```text
+//! cargo run --release -p adamel --example attention_analysis
+//! ```
+
+use adamel::{
+    attribute_importance, evaluate_prauc, fit, top_attribute_schemas, AdamelConfig, AdamelModel,
+    Variant,
+};
+use adamel_data::{make_mel_split, MonitorConfig, MonitorWorld, Scenario, SplitCounts};
+
+fn main() {
+    let world = MonitorWorld::generate(&MonitorConfig::default(), 3);
+    let schema = world.schema().clone();
+    let split = make_mel_split(
+        &world.records_for(None),
+        "page_title",
+        &world.seen_sources(),
+        &world.unseen_sources(),
+        Scenario::Overlapping,
+        &SplitCounts::default(),
+        1,
+    );
+
+    // Train the full model and read off the learned importance.
+    let mut model = AdamelModel::new(AdamelConfig::default(), schema.clone());
+    fit(&mut model, Variant::Hyb, &split.train, Some(&split.test), Some(&split.support));
+    let full_prauc = evaluate_prauc(&model, &split.test);
+
+    println!("attribute importance learned on the Monitor corpus:");
+    for (attr, score) in attribute_importance(&model, &split.test) {
+        let bar = "#".repeat((score * 120.0) as usize);
+        println!("  {attr:<16} {score:.4} {bar}");
+    }
+
+    // Retrain on the top-3 attributes vs the other ten.
+    let (top, rest) = top_attribute_schemas(&model, &split.test, &schema, 3);
+    println!("\ntop attributes:   {:?}", top.attributes());
+    println!("other attributes: {:?}", rest.attributes());
+
+    let mut top_model = AdamelModel::new(AdamelConfig::default(), top);
+    fit(&mut top_model, Variant::Hyb, &split.train, Some(&split.test), Some(&split.support));
+    let top_prauc = evaluate_prauc(&top_model, &split.test);
+
+    let mut rest_model = AdamelModel::new(AdamelConfig::default(), rest);
+    fit(&mut rest_model, Variant::Hyb, &split.train, Some(&split.test), Some(&split.support));
+    let rest_prauc = evaluate_prauc(&rest_model, &split.test);
+
+    println!("\nPRAUC with all 13 attributes: {full_prauc:.4}");
+    println!("PRAUC with top 3 only:        {top_prauc:.4}");
+    println!("PRAUC with the other 10:      {rest_prauc:.4}");
+    println!("\nA handful of important attributes carries (almost) all the signal —");
+    println!("the paper's 'importance inequality' observation (Table 5).");
+}

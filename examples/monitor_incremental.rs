@@ -1,0 +1,51 @@
+//! Incremental knowledge integration: product listings from new sales
+//! websites arrive in batches, and the model re-adapts its attribute
+//! importance at every step — the paper's §5.5 deployment scenario.
+//!
+//! ```text
+//! cargo run --release -p adamel --example monitor_incremental
+//! ```
+
+use adamel::{fit, AdamelConfig, AdamelModel, Variant};
+use adamel_data::{monitor_incremental, MonitorConfig, MonitorWorld};
+use adamel_metrics::pr_auc;
+
+fn main() {
+    // 24 sales websites; the first 5 are curated (labeled) sources.
+    let world = MonitorWorld::generate(&MonitorConfig::default(), 3);
+    println!(
+        "monitor world: {} records across {} websites ({} seen)",
+        world.records.len(),
+        world.styles.len(),
+        world.num_seen
+    );
+
+    // Fixed training pairs + support set; target domain grows by 2 websites
+    // per step.
+    let stream = monitor_incremental(&world, 600, 100, 60, 7, 2, 1);
+    println!(
+        "stream: {} train pairs, {} support, {} growth steps\n",
+        stream.train.len(),
+        stream.support.len(),
+        stream.steps.len()
+    );
+
+    let cfg = AdamelConfig { epochs: 25, ..AdamelConfig::default() };
+    println!("{:<10} {:>12} {:>10}", "|D_T*|", "target pairs", "PRAUC");
+    for step in &stream.steps {
+        // Re-adapt to the grown target domain (the unlabeled pairs
+        // themselves drive the KL term — no new labels needed).
+        let mut model = AdamelModel::new(cfg.clone(), world.schema().clone());
+        fit(&mut model, Variant::Hyb, &stream.train, Some(&step.target), Some(&stream.support));
+        let scores = model.predict(&step.target.pairs);
+        let labels: Vec<bool> = step.target.pairs.iter().map(|p| p.ground_truth()).collect();
+        println!(
+            "{:<10} {:>12} {:>10.4}",
+            step.num_sources,
+            step.target.len(),
+            pr_auc(&scores, &labels)
+        );
+    }
+    println!("\nAdaMEL-hyb stays stable as new sources arrive because the attention");
+    println!("function f re-adapts to each batch of unlabeled data (paper Fig. 9).");
+}

@@ -1,0 +1,63 @@
+//! Deployment workflow: train once, persist the model, reload it later and
+//! link two raw record collections with blocking — no pre-built pairs.
+//!
+//! ```text
+//! cargo run --release -p adamel --example save_and_link
+//! ```
+
+use adamel::{fit, load_model, save_model, AdamelConfig, AdamelModel, Linker, LinkerConfig, Variant};
+use adamel_data::{make_mel_split, EntityType, MusicConfig, MusicWorld, Scenario, SplitCounts};
+use std::io::BufReader;
+
+fn main() {
+    // Train AdaMEL-zero on the music world (no labels needed from the new
+    // sources — adaptation uses the unlabeled pairs themselves).
+    let world = MusicWorld::generate(&MusicConfig::default(), 7);
+    let records = world.records_of(EntityType::Album, None);
+    let split = make_mel_split(
+        &records,
+        "name",
+        &[0, 1, 2],
+        &[3, 4, 5, 6],
+        Scenario::Overlapping,
+        &SplitCounts::default(),
+        1,
+    );
+    let mut model = AdamelModel::new(AdamelConfig::default(), world.schema().clone());
+    fit(&mut model, Variant::Zero, &split.train, Some(&split.test), None);
+
+    // Persist and reload (exact f32 round trip).
+    let mut buf = Vec::new();
+    save_model(&model, &mut buf).expect("serialize");
+    println!("serialized model: {} bytes, {} parameters", buf.len(), model.num_parameters());
+    let restored = load_model(&mut BufReader::new(&buf[..])).expect("deserialize");
+
+    // Link two raw collections: albums from website 4 against website 6.
+    let left = world.records_of(EntityType::Album, Some(&[3]));
+    let right = world.records_of(EntityType::Album, Some(&[5]));
+    let linker = Linker::new(
+        restored,
+        LinkerConfig { threshold: 0.6, one_to_one: true, ..Default::default() },
+    );
+    let matches = linker.link(&left, &right);
+
+    // Grade against ground truth (generator entity ids).
+    let correct = matches
+        .iter()
+        .filter(|m| left[m.left].entity_id == right[m.right].entity_id)
+        .count();
+    println!(
+        "linked {} of {} website-4 albums against website-6 ({} correct)",
+        matches.len(),
+        left.len(),
+        correct
+    );
+    for m in matches.iter().take(5) {
+        println!(
+            "  {:.3}  {:?}  <->  {:?}",
+            m.score,
+            left[m.left].get("name").unwrap_or("?"),
+            right[m.right].get("name").unwrap_or("?")
+        );
+    }
+}

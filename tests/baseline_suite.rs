@@ -1,0 +1,95 @@
+//! Integration tests over the full baseline roster.
+
+use adamel_baselines::{
+    evaluate_prauc, BaselineConfig, CorDel, DeepMatcher, Ditto, EntityMatcher,
+    EntityMatcherModel, Tler,
+};
+use adamel_data::{make_mel_split, EntityType, MelSplit, MusicConfig, MusicWorld, Scenario, SplitCounts};
+use adamel_schema::Schema;
+
+fn fixture() -> (Schema, MelSplit) {
+    let world = MusicWorld::generate(&MusicConfig::tiny(), 9);
+    let records = world.records_of(EntityType::Album, None);
+    let split = make_mel_split(
+        &records,
+        "name",
+        &[0, 1, 2],
+        &[3, 4, 5, 6],
+        Scenario::Overlapping,
+        &SplitCounts::tiny(),
+        2,
+    );
+    (world.schema().clone(), split)
+}
+
+fn roster(schema: &Schema) -> Vec<Box<dyn EntityMatcherModel>> {
+    let cfg = BaselineConfig::tiny();
+    vec![
+        Box::new(Tler::new(schema.clone(), cfg.clone())),
+        Box::new(DeepMatcher::new(schema.clone(), cfg.clone())),
+        Box::new(EntityMatcher::new(schema.clone(), cfg.clone())),
+        Box::new(Ditto::new(schema.clone(), cfg.clone())),
+        Box::new(CorDel::new(schema.clone(), cfg)),
+    ]
+}
+
+#[test]
+fn every_baseline_trains_and_beats_chance() {
+    let (schema, split) = fixture();
+    for mut model in roster(&schema) {
+        model.fit(&split.train);
+        let prauc = evaluate_prauc(model.as_ref(), &split.test);
+        assert!(
+            prauc > 0.5,
+            "{} PRAUC {prauc} at or below chance on an easy split",
+            model.name()
+        );
+        for s in model.predict(&split.test.pairs) {
+            assert!(s.is_finite() && (0.0..=1.0).contains(&s), "{} bad score", model.name());
+        }
+    }
+}
+
+#[test]
+fn parameter_count_ordering_matches_the_papers() {
+    // §5.5: EntityMatcher is by far the largest; TLER (non-deep logistic
+    // regression) the smallest.
+    let (schema, _) = fixture();
+    let models = roster(&schema);
+    let params: Vec<(&str, usize)> =
+        models.iter().map(|m| (m.name(), m.num_parameters())).collect();
+    let em = params.iter().find(|(n, _)| *n == "EntityMatcher").unwrap().1;
+    let tler = params.iter().find(|(n, _)| *n == "TLER").unwrap().1;
+    for (name, p) in &params {
+        if *name != "EntityMatcher" {
+            assert!(em > *p, "EntityMatcher ({em}) not larger than {name} ({p})");
+        }
+        if *name != "TLER" {
+            assert!(tler < *p, "TLER ({tler}) not smaller than {name} ({p})");
+        }
+    }
+}
+
+#[test]
+fn baselines_are_deterministic_given_seed() {
+    let (schema, split) = fixture();
+    let run = || {
+        let mut m = DeepMatcher::new(schema.clone(), BaselineConfig::tiny());
+        m.fit(&split.train);
+        m.predict(&split.test.pairs)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn baselines_handle_pairs_with_only_missing_values() {
+    use adamel_schema::{EntityPair, Record, SourceId};
+    let (schema, split) = fixture();
+    let empty_pair = EntityPair::unlabeled(Record::new(SourceId(0), 1), Record::new(SourceId(1), 2));
+    for mut model in roster(&schema) {
+        model.fit(&split.train);
+        let scores = model.predict(std::slice::from_ref(&empty_pair));
+        assert_eq!(scores.len(), 1);
+        assert!(scores[0].is_finite(), "{} choked on empty pair", model.name());
+    }
+}

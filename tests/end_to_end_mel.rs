@@ -1,0 +1,112 @@
+//! End-to-end multi-source entity linkage: world generation → split →
+//! training → evaluation, across all four AdaMEL variants.
+
+use adamel::{evaluate_prauc, fit, AdamelConfig, AdamelModel, Variant};
+use adamel_data::{make_mel_split, EntityType, MusicConfig, MusicWorld, Scenario, SplitCounts};
+use adamel_schema::Schema;
+
+fn fixture() -> (Schema, adamel_data::MelSplit) {
+    let world = MusicWorld::generate(&MusicConfig::tiny(), 5);
+    let records = world.records_of(EntityType::Artist, None);
+    let split = make_mel_split(
+        &records,
+        "name",
+        &[0, 1, 2],
+        &[3, 4, 5, 6],
+        Scenario::Overlapping,
+        &SplitCounts::tiny(),
+        1,
+    );
+    (world.schema().clone(), split)
+}
+
+fn train(variant: Variant, schema: &Schema, split: &adamel_data::MelSplit, seed: u64) -> AdamelModel {
+    let cfg = AdamelConfig::tiny().with_seed(seed);
+    let mut model = AdamelModel::new(cfg, schema.clone());
+    fit(
+        &mut model,
+        variant,
+        &split.train,
+        variant.uses_target().then_some(&split.test),
+        variant.uses_support().then_some(&split.support),
+    );
+    model
+}
+
+#[test]
+fn all_variants_beat_random_ranking() {
+    let (schema, split) = fixture();
+    for variant in Variant::ALL {
+        let model = train(variant, &schema, &split, 1);
+        let prauc = evaluate_prauc(&model, &split.test);
+        // Random ranking on a balanced test set gives ~0.5.
+        assert!(prauc > 0.55, "{} PRAUC {prauc} not above chance", variant.name());
+    }
+}
+
+#[test]
+fn adaptation_improves_over_base() {
+    let (schema, split) = fixture();
+    // Averaged over two seeds to damp single-run noise.
+    let mean = |variant: Variant| -> f64 {
+        [1u64, 2]
+            .iter()
+            .map(|&s| evaluate_prauc(&train(variant, &schema, &split, s), &split.test))
+            .sum::<f64>()
+            / 2.0
+    };
+    let base = mean(Variant::Base);
+    let zero = mean(Variant::Zero);
+    // At this smoke scale the support set is only ~30 pairs, so the zero
+    // variant is the stable witness for "adaptation does not hurt"; the
+    // full-scale comparison lives in the repro harness (Table 9).
+    assert!(
+        zero > base - 0.05,
+        "AdaMEL-zero ({zero:.4}) should not fall below AdaMEL-base ({base:.4})"
+    );
+}
+
+#[test]
+fn training_and_evaluation_are_deterministic() {
+    let (schema, split) = fixture();
+    let a = evaluate_prauc(&train(Variant::Hyb, &schema, &split, 3), &split.test);
+    let b = evaluate_prauc(&train(Variant::Hyb, &schema, &split, 3), &split.test);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn disjoint_scenario_is_not_easier_for_base() {
+    let world = MusicWorld::generate(&MusicConfig::tiny(), 5);
+    let records = world.records_of(EntityType::Artist, None);
+    let schema = world.schema().clone();
+    let eval_scenario = |scenario: Scenario| -> f64 {
+        let split =
+            make_mel_split(&records, "name", &[0, 1, 2], &[3, 4, 5, 6], scenario, &SplitCounts::tiny(), 1);
+        evaluate_prauc(&train(Variant::Base, &schema, &split, 1), &split.test)
+    };
+    let s1 = eval_scenario(Scenario::Overlapping);
+    let s2 = eval_scenario(Scenario::Disjoint);
+    // Loose: disjoint should not be dramatically easier than overlapping.
+    assert!(s2 <= s1 + 0.15, "disjoint {s2} unexpectedly much easier than overlapping {s1}");
+}
+
+#[test]
+fn scores_are_probabilities_and_finite() {
+    let (schema, split) = fixture();
+    let model = train(Variant::Zero, &schema, &split, 1);
+    for s in model.predict(&split.test.pairs) {
+        assert!(s.is_finite() && (0.0..=1.0).contains(&s));
+    }
+}
+
+#[test]
+fn attention_remains_a_distribution_after_training() {
+    let (schema, split) = fixture();
+    let model = train(Variant::Hyb, &schema, &split, 1);
+    let att = model.attention(&split.test.pairs);
+    for i in 0..att.rows() {
+        let sum: f32 = att.row(i).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "row {i} sums to {sum}");
+        assert!(att.row(i).iter().all(|&v| v >= 0.0));
+    }
+}
