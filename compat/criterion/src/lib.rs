@@ -1,0 +1,121 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's benches
+//! use — `benchmark_group`/`sample_size`/`bench_function`/`iter` and the
+//! `criterion_group!`/`criterion_main!` macros — as a minimal wall-clock
+//! harness: each benchmark runs a short warm-up, then `sample_size`
+//! timed samples, and prints mean/min per iteration. No statistics, plots,
+//! or CLI filtering.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {}", name);
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: None }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(id, self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_bench(&format!("{}/{}", self.name, id), samples, f);
+        self
+    }
+
+    /// Ends the group (formatting no-op, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times the provided routine.
+pub struct Bencher {
+    samples: usize,
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, retaining per-sample wall-clock durations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up iteration, untimed.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.per_iter.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench(id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, per_iter: Vec::new() };
+    f(&mut b);
+    if b.per_iter.is_empty() {
+        println!("  {:<40} (no samples)", id);
+        return;
+    }
+    let total: Duration = b.per_iter.iter().sum();
+    let mean = total / b.per_iter.len() as u32;
+    let min = b.per_iter.iter().min().copied().unwrap_or_default();
+    println!(
+        "  {:<40} mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+        id,
+        mean,
+        min,
+        b.per_iter.len()
+    );
+}
+
+/// Declares a benchmark group function list (plain-list form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,118 @@
+//! Offline stand-in for `proptest`, implementing the subset of the API this
+//! workspace uses: the `proptest!` macro, `prop_assert*`/`prop_assume!`,
+//! numeric-range / regex-string / tuple / collection strategies, `any::<bool>()`,
+//! and `prop_map`.
+//!
+//! Differences from upstream, by design:
+//! - **No shrinking.** A failing case reports the generated inputs as-is.
+//! - **Deterministic seeding.** The RNG seed is derived from the test-function
+//!   name, so runs are reproducible without a persistence file
+//!   (`.proptest-regressions` files are ignored).
+//! - **Regex strategies** support the literal/class/`{m,n}` subset that the
+//!   in-repo tests use, not full regex syntax.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod arbitrary;
+
+pub mod collection;
+
+/// The glob-imported convenience surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares a block of property tests.
+///
+/// Accepts an optional `#![proptest_config(..)]` inner attribute followed by
+/// `#[test] fn name(pat in strategy, ..) { body }` items, mirroring upstream
+/// syntax. Outer attributes (including `#[test]` itself) are passed through
+/// verbatim.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+                    let ($($arg,)+) =
+                        ($($crate::strategy::Strategy::generate(&($strat), __rng),)+);
+                    let __outcome: $crate::test_runner::TestCaseResult =
+                        (|| { $body Ok(()) })();
+                    __outcome
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case (with an optional formatted message) unless the
+/// condition holds. Must be used inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __l
+        );
+    }};
+}
+
+/// Discards the current case (without counting it) unless the condition
+/// holds; the runner draws a replacement case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,311 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream, a strategy here is just a generator: `generate` draws one
+/// value from the distribution. All upstream combinator names used in this
+/// workspace (`prop_map`) are provided.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Delegation so `&S` (e.g. a reused element strategy) is itself a strategy.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (self.start as i128, self.end as i128);
+                assert!(lo < hi, "empty integer range strategy");
+                (lo + rng.below((hi - lo) as u64) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty integer range strategy");
+                (lo + rng.below((hi - lo + 1) as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty float range strategy");
+                self.start + rng.unit_f64() as $t * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),* $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E), (A, B, C, D, E, F));
+
+/// String strategies from regex literals, e.g. `"[a-z ]{0,12}"` or `".{0,60}"`.
+///
+/// Supported subset (all this workspace uses): a sequence of units, each `.`,
+/// `[class]` (chars and `a-z` ranges), or a literal char, optionally followed
+/// by `{n}` / `{m,n}`. `.` draws mostly printable ASCII with a tail of
+/// arbitrary Unicode scalars so text-normalization properties see non-ASCII
+/// input.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug)]
+enum CharSet {
+    /// `.`: arbitrary character.
+    Any,
+    /// `[...]`: explicit members.
+    OneOf(Vec<(char, char)>),
+}
+
+impl CharSet {
+    fn draw(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Any => {
+                if rng.below(10) < 7 {
+                    // Printable ASCII.
+                    char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+                } else {
+                    // Arbitrary scalar value, skipping the surrogate gap.
+                    loop {
+                        if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                            return c;
+                        }
+                    }
+                }
+            }
+            CharSet::OneOf(ranges) => {
+                let total: u64 =
+                    ranges.iter().map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1).sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = (*hi as u64) - (*lo as u64) + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick as u32)
+                            .expect("character class range crosses the surrogate gap");
+                    }
+                    pick -= span;
+                }
+                unreachable!()
+            }
+        }
+    }
+}
+
+struct Unit {
+    set: CharSet,
+    min: u64,
+    max: u64,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Unit> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut units = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '.' => {
+                i += 1;
+                CharSet::Any
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed character class in `{}`", pattern))
+                    + i;
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty character class in `{}`", pattern);
+                i = close + 1;
+                CharSet::OneOf(ranges)
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "dangling escape in `{}`", pattern);
+                let c = chars[i + 1];
+                i += 2;
+                CharSet::OneOf(vec![(c, c)])
+            }
+            c => {
+                i += 1;
+                CharSet::OneOf(vec![(c, c)])
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed repetition in `{}`", pattern))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition lower bound"),
+                    hi.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n: u64 = body.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in `{}`", pattern);
+        units.push(Unit { set, min, max });
+    }
+    units
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for unit in parse_pattern(pattern) {
+        let count = unit.min + rng.below(unit.max - unit.min + 1);
+        for _ in 0..count {
+            out.push(unit.set.draw(rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3u32..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let f = (-2.0f32..2.0).generate(&mut r);
+            assert!((-2.0..2.0).contains(&f));
+            let i = (0i64..=4).generate(&mut r);
+            assert!((0..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn regex_classes_and_repetitions() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-c]".generate(&mut r);
+            assert_eq!(s.chars().count(), 1);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+
+            let s = "[a-z ]{0,12}".generate(&mut r);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+
+            let s = "[a-z0-9]{1,20}".generate(&mut r);
+            let n = s.chars().count();
+            assert!((1..=20).contains(&n));
+
+            let s = ".{0,60}".generate(&mut r);
+            assert!(s.chars().count() <= 60);
+        }
+    }
+
+    #[test]
+    fn tuples_and_map_compose() {
+        let mut r = rng();
+        let strat = (0u32..6, 0u64..40).prop_map(|(a, b)| a as u64 + b);
+        for _ in 0..100 {
+            assert!(strat.generate(&mut r) < 46);
+        }
+    }
+
+    #[test]
+    fn just_yields_constant() {
+        let mut r = rng();
+        assert_eq!(Just(7u8).generate(&mut r), 7);
+    }
+}

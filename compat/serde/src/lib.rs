@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's schema types derive `Serialize`/`Deserialize` for
+//! forward-compatibility but nothing serializes them yet, so marker traits
+//! plus no-op derives are sufficient to compile without registry access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

@@ -42,14 +42,7 @@ pub struct BaselineConfig {
 
 impl Default for BaselineConfig {
     fn default() -> Self {
-        Self {
-            embed_dim: 48,
-            crop: 20,
-            epochs: 25,
-            learning_rate: 1e-3,
-            batch_size: 16,
-            seed: 7,
-        }
+        Self { embed_dim: 48, crop: 20, epochs: 25, learning_rate: 1e-3, batch_size: 16, seed: 7 }
     }
 }
 
@@ -142,7 +135,8 @@ impl MlpHead {
             }
             for chunk in order.chunks(self.cfg.batch_size.max(1)) {
                 let batch = features.select_rows(chunk);
-                let y = Matrix::from_vec(chunk.len(), 1, chunk.iter().map(|&i| labels[i]).collect());
+                let y =
+                    Matrix::from_vec(chunk.len(), 1, chunk.iter().map(|&i| labels[i]).collect());
                 let mut g = Graph::new();
                 let logits = self.forward(&mut g, &batch);
                 let loss = g.bce_with_logits(logits, y);
@@ -171,12 +165,8 @@ mod tests {
 
     #[test]
     fn mlp_learns_xor_like_separation() {
-        let features = Matrix::from_rows(&[
-            vec![0.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-        ]);
+        let features =
+            Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]]);
         let labels = [0.0, 1.0, 1.0, 0.0];
         let mut head = MlpHead::new(
             &[2, 16, 1],

@@ -11,8 +11,8 @@
 
 use crate::common::{BaselineConfig, EntityMatcherModel, MlpHead};
 use adamel_schema::{Domain, EntityPair, Schema};
-use adamel_text::{shared_and_unique, tokenize_cropped, HashedFastText, TfIdf};
 use adamel_tensor::Matrix;
+use adamel_text::{shared_and_unique, tokenize_cropped, HashedFastText, TfIdf};
 
 /// The CorDel-Attention baseline.
 pub struct CorDel {
@@ -71,8 +71,13 @@ impl CorDel {
         let d = self.cfg.embed_dim;
         let mut row = Vec::with_capacity(self.schema.len() * (d * 2 + 2));
         for attr in self.schema.attributes() {
-            let ta = pair.left.get(attr).map(|v| tokenize_cropped(v, self.cfg.crop)).unwrap_or_default();
-            let tb = pair.right.get(attr).map(|v| tokenize_cropped(v, self.cfg.crop)).unwrap_or_default();
+            let ta =
+                pair.left.get(attr).map(|v| tokenize_cropped(v, self.cfg.crop)).unwrap_or_default();
+            let tb = pair
+                .right
+                .get(attr)
+                .map(|v| tokenize_cropped(v, self.cfg.crop))
+                .unwrap_or_default();
             let (shared, unique) = shared_and_unique(&ta, &tb);
             row.extend(self.weighted_sum(&shared));
             row.extend(self.weighted_sum(&unique));

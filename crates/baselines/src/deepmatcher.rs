@@ -11,8 +11,8 @@
 
 use crate::common::{BaselineConfig, EntityMatcherModel, MlpHead};
 use adamel_schema::{Domain, EntityPair, Schema};
-use adamel_text::{cosine_slices, tokenize_cropped, HashedFastText};
 use adamel_tensor::Matrix;
+use adamel_text::{cosine_slices, tokenize_cropped, HashedFastText};
 
 /// The DeepMatcher baseline (hybrid variant).
 pub struct DeepMatcher {
@@ -42,15 +42,13 @@ impl DeepMatcher {
         if own.is_empty() {
             return self.embedder.missing_vector().into_vec();
         }
-        let other_embs: Vec<Vec<f32>> = other.iter().map(|t| self.embedder.embed_token(t)).collect();
+        let other_embs: Vec<Vec<f32>> =
+            other.iter().map(|t| self.embedder.embed_token(t)).collect();
         let mut acc = vec![0.0f32; d];
         for tok in own {
             let e = self.embedder.embed_token(tok);
-            let align = other_embs
-                .iter()
-                .map(|o| cosine_slices(&e, o))
-                .fold(0.0f32, f32::max)
-                .max(0.0);
+            let align =
+                other_embs.iter().map(|o| cosine_slices(&e, o)).fold(0.0f32, f32::max).max(0.0);
             // 0.5 base weight keeps unaligned tokens contributing, as the
             // RNN summary would.
             let w = 0.5 + 0.5 * align;
@@ -67,8 +65,13 @@ impl DeepMatcher {
         let d = self.cfg.embed_dim;
         let mut row = Vec::with_capacity(self.schema.len() * d * 2);
         for attr in self.schema.attributes() {
-            let ta = pair.left.get(attr).map(|v| tokenize_cropped(v, self.cfg.crop)).unwrap_or_default();
-            let tb = pair.right.get(attr).map(|v| tokenize_cropped(v, self.cfg.crop)).unwrap_or_default();
+            let ta =
+                pair.left.get(attr).map(|v| tokenize_cropped(v, self.cfg.crop)).unwrap_or_default();
+            let tb = pair
+                .right
+                .get(attr)
+                .map(|v| tokenize_cropped(v, self.cfg.crop))
+                .unwrap_or_default();
             let u = self.summarize(&ta, &tb);
             let v = self.summarize(&tb, &ta);
             for (x, y) in u.iter().zip(&v) {

@@ -12,8 +12,8 @@
 
 use crate::common::{BaselineConfig, EntityMatcherModel, MlpHead};
 use adamel_schema::{Domain, EntityPair, Record, Schema};
-use adamel_text::{tokenize_cropped, HashedFastText, TfIdf};
 use adamel_tensor::Matrix;
+use adamel_text::{tokenize_cropped, HashedFastText, TfIdf};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

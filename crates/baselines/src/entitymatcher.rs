@@ -12,8 +12,8 @@
 
 use crate::common::{BaselineConfig, EntityMatcherModel, MlpHead};
 use adamel_schema::{Domain, EntityPair, Schema};
-use adamel_text::{cosine_slices, tokenize_cropped, HashedFastText};
 use adamel_tensor::Matrix;
+use adamel_text::{cosine_slices, tokenize_cropped, HashedFastText};
 
 /// Per-attribute aggregation width (mean/max/coverage alignment statistics,
 /// each direction).
@@ -144,7 +144,8 @@ impl EntityMatcher {
 
     fn encode(&self, pairs: &[EntityPair]) -> Matrix {
         let na = self.schema.len();
-        let width = na * ATTR_STATS + na * na + 2 * self.cfg.embed_dim + na * 2 * self.cfg.embed_dim;
+        let width =
+            na * ATTR_STATS + na * na + 2 * self.cfg.embed_dim + na * 2 * self.cfg.embed_dim;
         let mut data = Vec::with_capacity(pairs.len() * width);
         for p in pairs {
             data.extend(self.features(p));

@@ -9,9 +9,9 @@
 
 use crate::common::{BaselineConfig, EntityMatcherModel, MlpHead};
 use adamel_schema::{Domain, EntityPair, Schema};
+use adamel_tensor::Matrix;
 use adamel_text::similarity as sim;
 use adamel_text::tokenize_cropped;
-use adamel_tensor::Matrix;
 
 /// Number of engineered features per attribute.
 ///
@@ -133,7 +133,12 @@ mod tests {
         let mut train = Vec::new();
         for i in 0..10u64 {
             train.push(pair(&format!("song number {i}"), &format!("song number {i}"), i, i));
-            train.push(pair(&format!("song number {i}"), &format!("different tune {}", i + 50), i, i + 100));
+            train.push(pair(
+                &format!("song number {i}"),
+                &format!("different tune {}", i + 50),
+                i,
+                i + 100,
+            ));
         }
         t.fit(&Domain::new(train));
         let pos = t.predict(&[pair("melody x", "melody x", 1, 1)])[0];

@@ -3,7 +3,9 @@
 //! at matched data and text dimensions.
 
 use adamel::{fit, AdamelConfig, AdamelModel, Variant};
-use adamel_baselines::{BaselineConfig, CorDel, DeepMatcher, EntityMatcher, EntityMatcherModel, Tler};
+use adamel_baselines::{
+    BaselineConfig, CorDel, DeepMatcher, EntityMatcher, EntityMatcherModel, Tler,
+};
 use adamel_bench::{MusicExperiment, Scale};
 use adamel_data::{EntityType, MelSplit, Scenario};
 use adamel_schema::Schema;
@@ -87,9 +89,7 @@ fn bench_inference(c: &mut Criterion) {
 
     let mut em = EntityMatcher::new(schema.clone(), baseline_cfg());
     em.fit(&split.train);
-    group.bench_function("entitymatcher", |b| {
-        b.iter(|| black_box(em.predict(&split.test.pairs)))
-    });
+    group.bench_function("entitymatcher", |b| b.iter(|| black_box(em.predict(&split.test.pairs))));
     group.finish();
 }
 

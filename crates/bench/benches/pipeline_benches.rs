@@ -80,9 +80,8 @@ fn bench_metrics(c: &mut Criterion) {
 }
 
 fn bench_tsne(c: &mut Criterion) {
-    let points: Vec<Vec<f32>> = (0..60)
-        .map(|i| (0..18).map(|j| ((i * 31 + j * 7) % 13) as f32 / 13.0).collect())
-        .collect();
+    let points: Vec<Vec<f32>> =
+        (0..60).map(|i| (0..18).map(|j| ((i * 31 + j * 7) % 13) as f32 / 13.0).collect()).collect();
     let cfg = TsneConfig { iterations: 100, perplexity: 10.0, ..Default::default() };
     let mut group = c.benchmark_group("tsne");
     group.sample_size(10);

@@ -1,0 +1,153 @@
+//! Emits `BENCH_parallel.json`: serial-vs-parallel timings for the matmul
+//! kernels, batch pair encoding, and end-to-end prediction at 1/2/4/8
+//! worker threads.
+//!
+//! Thread counts are forced with [`parallel::with_threads`], which also
+//! bypasses the serial-fallback FLOP threshold, so every row measures the
+//! dispatch path it claims to. `host_parallelism` is recorded because
+//! speedups are only meaningful relative to the physical cores available —
+//! on a single-core container every multi-thread row just measures dispatch
+//! overhead.
+
+use adamel::config::AdamelConfig;
+use adamel::model::AdamelModel;
+use adamel_schema::{EntityPair, Record, Schema, SourceId};
+use adamel_tensor::{parallel, Matrix};
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const THREADS: &[usize] = &[1, 2, 4, 8];
+const MATMUL_M: usize = 4096;
+const NUM_PAIRS: usize = 10_000;
+
+struct Row {
+    kernel: &'static str,
+    n: usize,
+    threads: usize,
+    ms: f64,
+}
+
+/// Best-of-`reps` wall time in milliseconds, with one untimed warm-up.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut rand::rngs::StdRng) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// 13-attribute schema with short multi-word values, mirroring the paper's
+/// Adobe-domain attribute count.
+fn synth_pairs(n: usize) -> (Schema, Vec<EntityPair>) {
+    let attrs: Vec<String> = (0..13).map(|i| format!("attr{i:02}")).collect();
+    let schema = Schema::new(attrs.clone());
+    let vocab = [
+        "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india",
+        "juliet", "kilo", "lima", "mike", "november", "oscar", "papa",
+    ];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut pairs = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut left = Record::new(SourceId(0), i as u64);
+        let mut right = Record::new(SourceId(1), i as u64);
+        for attr in &attrs {
+            // ~10% of attribute values are missing on each side.
+            if rng.gen_range(0u32..10) > 0 {
+                let words: Vec<&str> =
+                    (0..3).map(|_| vocab[rng.gen_range(0usize..vocab.len())]).collect();
+                left.set(attr, words.join(" "));
+                // Half the pairs share the value; half perturb one word.
+                let mut rwords = words.clone();
+                if rng.gen_range(0u32..2) == 0 {
+                    rwords[0] = vocab[rng.gen_range(0usize..vocab.len())];
+                }
+                right.set(attr, rwords.join(" "));
+            }
+        }
+        pairs.push(EntityPair::unlabeled(left, right));
+    }
+    (schema, pairs)
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    // --- matmul kernels at paper-scale inner dims (300 -> 256) ---
+    let a = random_matrix(MATMUL_M, 300, &mut rng);
+    let b = random_matrix(300, 256, &mut rng);
+    let b_t = random_matrix(256, 300, &mut rng);
+    let a_tall = random_matrix(MATMUL_M, 256, &mut rng);
+    for &t in THREADS {
+        let ms = time_ms(3, || {
+            parallel::with_threads(t, || std::hint::black_box(a.matmul(&b)));
+        });
+        rows.push(Row { kernel: "matmul", n: MATMUL_M, threads: t, ms });
+    }
+    for &t in THREADS {
+        let ms = time_ms(3, || {
+            parallel::with_threads(t, || std::hint::black_box(a.matmul_tn(&a_tall)));
+        });
+        rows.push(Row { kernel: "matmul_tn", n: MATMUL_M, threads: t, ms });
+    }
+    for &t in THREADS {
+        let ms = time_ms(3, || {
+            parallel::with_threads(t, || std::hint::black_box(a.matmul_nt(&b_t)));
+        });
+        rows.push(Row { kernel: "matmul_nt", n: MATMUL_M, threads: t, ms });
+    }
+
+    // --- pair encoding and end-to-end prediction at paper dims ---
+    let (schema, pairs) = synth_pairs(NUM_PAIRS);
+    let model = AdamelModel::new(AdamelConfig::paper(), schema);
+    let extractor = model.extractor().clone();
+    for &t in THREADS {
+        let ms = time_ms(1, || {
+            parallel::with_threads(t, || std::hint::black_box(extractor.encode_pairs(&pairs)));
+        });
+        rows.push(Row { kernel: "encode_pairs", n: NUM_PAIRS, threads: t, ms });
+    }
+    let encoded = extractor.encode_pairs(&pairs);
+    for &t in THREADS {
+        let ms = time_ms(1, || {
+            parallel::with_threads(t, || std::hint::black_box(model.predict_encoded(&encoded)));
+        });
+        rows.push(Row { kernel: "predict", n: NUM_PAIRS, threads: t, ms });
+    }
+
+    // --- emit JSON (hand-written: no serialization dependency) ---
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"host_parallelism\": {},\n", parallel::host_parallelism()));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let base = rows
+            .iter()
+            .find(|q| q.kernel == r.kernel && q.threads == 1)
+            .map(|q| q.ms)
+            .unwrap_or(r.ms);
+        let speedup = if r.ms > 0.0 { base / r.ms } else { 1.0 };
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"threads\": {}, \"ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            r.kernel,
+            r.n,
+            r.threads,
+            r.ms,
+            speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_parallel.json", &out).expect("write BENCH_parallel.json");
+    print!("{out}");
+    eprintln!("wrote BENCH_parallel.json");
+}

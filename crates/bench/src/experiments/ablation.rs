@@ -40,9 +40,7 @@ pub fn run(ctx: &Ctx) -> Vec<Cell> {
                 let scores: Vec<f64> = (1..=ctx.scale.runs as u64)
                     .map(|seed| {
                         let split = exp.split(&ctx.scale, Scenario::Overlapping, false, seed);
-                        let cfg = AdamelConfig::default()
-                            .with_feature_mode(mode)
-                            .with_seed(seed);
+                        let cfg = AdamelConfig::default().with_feature_mode(mode).with_seed(seed);
                         let mut model = AdamelModel::new(cfg, schema.clone());
                         fit(
                             &mut model,
@@ -68,10 +66,7 @@ pub fn run(ctx: &Ctx) -> Vec<Cell> {
             }
             rows.push(row);
         }
-        println!(
-            "{}",
-            table::render(&["Method", "Shared", "Unique", "Shared & Unique"], &rows)
-        );
+        println!("{}", table::render(&["Method", "Shared", "Unique", "Shared & Unique"], &rows));
     }
     println!("(paper: using both contrastive features is best)");
     ctx.write_csv("table6_ablation.csv", &csv);

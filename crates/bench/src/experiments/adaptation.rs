@@ -41,14 +41,24 @@ pub fn run_fig7(ctx: &Ctx) -> Vec<(String, f64)> {
             for i in 0..take {
                 points.push(att_t.row(i).to_vec());
             }
-            let emb = tsne(&points, &TsneConfig { perplexity: 20.0, iterations: 250, ..Default::default() });
+            let emb = tsne(
+                &points,
+                &TsneConfig { perplexity: 20.0, iterations: 250, ..Default::default() },
+            );
             let (s_pts, t_pts) = emb.split_at(take);
             let ratio = separation_ratio(s_pts, t_pts);
             let name = format!("{} λ={lambda}", variant.name());
             rows.push(vec![name.clone(), format!("{ratio:.3}")]);
             for (i, p) in emb.iter().enumerate() {
                 let domain = if i < take { "source" } else { "target" };
-                csv.push_str(&format!("{},{},{},{:.4},{:.4}\n", variant.name(), lambda, domain, p[0], p[1]));
+                csv.push_str(&format!(
+                    "{},{},{},{:.4},{:.4}\n",
+                    variant.name(),
+                    lambda,
+                    domain,
+                    p[0],
+                    p[1]
+                ));
             }
             results.push((name, ratio));
         }
@@ -90,7 +100,13 @@ pub fn run_fig8(ctx: &Ctx) -> Vec<(String, f32, f64)> {
                     format!("{lambda:.2}"),
                     format!("{prauc:.4}"),
                 ]);
-                csv.push_str(&format!("{},{},{},{:.4}\n", etype.name(), variant.name(), lambda, prauc));
+                csv.push_str(&format!(
+                    "{},{},{},{:.4}\n",
+                    etype.name(),
+                    variant.name(),
+                    lambda,
+                    prauc
+                ));
                 out.push((format!("{} {}", etype.name(), variant.name()), lambda, prauc));
             }
         }

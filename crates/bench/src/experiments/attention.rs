@@ -156,7 +156,10 @@ pub fn run_table5(ctx: &Ctx) -> Vec<Table5Row> {
     }
     println!(
         "{}",
-        table::render(&["Dataset", "Top attributes (#)", "Other attributes", "All attributes"], &printed)
+        table::render(
+            &["Dataset", "Top attributes (#)", "Other attributes", "All attributes"],
+            &printed
+        )
     );
     println!("(paper: top-attribute subsets match or beat all attributes except track)");
     ctx.write_csv("table5_subsets.csv", &csv);
@@ -170,10 +173,7 @@ pub type _Scale = Scale;
 /// interpretability.
 pub fn print_attribute_rollup(model: &AdamelModel, split: &MelSplit) {
     let rollup = attribute_importance(model, &split.test);
-    let rows: Vec<Vec<String>> = rollup
-        .iter()
-        .take(5)
-        .map(|(a, s)| vec![a.clone(), format!("{s:.4}")])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        rollup.iter().take(5).map(|(a, s)| vec![a.clone(), format!("{s:.4}")]).collect();
     println!("{}", table::render(&["Attribute", "Total importance"], &rows));
 }

@@ -43,11 +43,7 @@ pub fn run(ctx: &Ctx) -> Vec<Cell> {
         for (corpus, etype, weak) in &combos {
             let exp = MusicExperiment::new(&ctx.scale, *etype, 42);
             let schema = exp.schema();
-            println!(
-                "\n--- Table 9 cell: {corpus} {} / {} ---",
-                etype.name(),
-                scenario.name()
-            );
+            println!("\n--- Table 9 cell: {corpus} {} / {} ---", etype.name(), scenario.name());
             let mut rows = Vec::new();
             for method in Method::ALL {
                 let scores: Vec<f64> = (1..=ctx.scale.runs as u64)

@@ -41,10 +41,10 @@ pub fn run(ctx: &Ctx) -> Vec<Row> {
         for seed in 1..=ctx.scale.runs as u64 {
             let data = generate_benchmark(&spec, seed);
 
-            let mut dm = baselines::DeepMatcher::new(data.schema.clone(), BaselineConfig {
-                seed,
-                ..BaselineConfig::default()
-            });
+            let mut dm = baselines::DeepMatcher::new(
+                data.schema.clone(),
+                BaselineConfig { seed, ..BaselineConfig::default() },
+            );
             dm.fit(&data.train);
             dm_scores.push(baselines::evaluate_f1(&dm, &data.test) * 100.0);
 
@@ -84,7 +84,8 @@ pub fn run(ctx: &Ctx) -> Vec<Row> {
 
     println!("\n--- Table 7: single-domain F1 on benchmark datasets ---");
     let mut printed = Vec::new();
-    let mut csv = String::from("category,dataset,domain,deepmatcher_f1,adamel_zero_f1,adamel_hyb_f1\n");
+    let mut csv =
+        String::from("category,dataset,domain,deepmatcher_f1,adamel_zero_f1,adamel_hyb_f1\n");
     for r in &rows {
         printed.push(vec![
             r.category.to_string(),
@@ -101,7 +102,10 @@ pub fn run(ctx: &Ctx) -> Vec<Row> {
     }
     println!(
         "{}",
-        table::render(&["Type", "Dataset", "Domain", "DeepMatcher", "AdaMEL-zero", "AdaMEL-hyb"], &printed)
+        table::render(
+            &["Type", "Dataset", "Domain", "DeepMatcher", "AdaMEL-zero", "AdaMEL-hyb"],
+            &printed
+        )
     );
     println!("(paper: DeepMatcher >= AdaMEL-zero on single-domain data; AdaMEL-hyb comparable)");
     ctx.write_csv("table7_single_domain.csv", &csv);

@@ -117,10 +117,7 @@ pub fn run(ctx: &Ctx) -> (Vec<Step>, RuntimeReport) {
             s.num_sources, s.hyb, s.entity_matcher, s.cordel
         ));
     }
-    println!(
-        "{}",
-        table::render(&["|D_T*|", "AdaMEL-hyb", "EntityMatcher", "CorDel"], &rows)
-    );
+    println!("{}", table::render(&["|D_T*|", "AdaMEL-hyb", "EntityMatcher", "CorDel"], &rows));
     ctx.write_csv("fig9_stability.csv", &csv);
 
     // Runtime + parameter table (§5.5: AdaMEL ~2.2M vs EntityMatcher ~123M;

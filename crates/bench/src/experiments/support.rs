@@ -89,10 +89,8 @@ pub fn run(ctx: &Ctx) -> Vec<Point> {
 }
 
 fn interleaved_indices(pool: &Domain, size: usize) -> Vec<usize> {
-    let pos: Vec<usize> =
-        (0..pool.len()).filter(|&i| pool.pairs[i].label == Some(true)).collect();
-    let neg: Vec<usize> =
-        (0..pool.len()).filter(|&i| pool.pairs[i].label == Some(false)).collect();
+    let pos: Vec<usize> = (0..pool.len()).filter(|&i| pool.pairs[i].label == Some(true)).collect();
+    let neg: Vec<usize> = (0..pool.len()).filter(|&i| pool.pairs[i].label == Some(false)).collect();
     let mut out = Vec::with_capacity(size);
     let mut pi = 0;
     let mut ni = 0;

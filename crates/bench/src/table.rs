@@ -38,10 +38,7 @@ mod tests {
     fn renders_aligned_columns() {
         let t = render(
             &["Method", "PRAUC"],
-            &[
-                vec!["AdaMEL-hyb".into(), "0.92".into()],
-                vec!["TLER".into(), "0.64".into()],
-            ],
+            &[vec!["AdaMEL-hyb".into(), "0.92".into()], vec!["TLER".into(), "0.64".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

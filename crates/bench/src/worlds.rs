@@ -87,11 +87,8 @@ impl MusicExperiment {
     /// to the (larger) training set.
     pub fn split(&self, scale: &Scale, scenario: Scenario, weak: bool, seed: u64) -> MelSplit {
         let records = self.world.records_of(self.etype, None);
-        let per_class = if weak {
-            scale.weak_train_pairs_per_class
-        } else {
-            scale.train_pairs_per_class
-        };
+        let per_class =
+            if weak { scale.weak_train_pairs_per_class } else { scale.train_pairs_per_class };
         let counts = SplitCounts {
             train_pos: per_class,
             train_neg: per_class,
@@ -101,15 +98,8 @@ impl MusicExperiment {
             test_neg: scale.test_pairs_per_class,
             hard_negative_fraction: 0.65,
         };
-        let mut split = make_mel_split(
-            &records,
-            "name",
-            &[0, 1, 2],
-            &[3, 4, 5, 6],
-            scenario,
-            &counts,
-            seed,
-        );
+        let mut split =
+            make_mel_split(&records, "name", &[0, 1, 2], &[3, 4, 5, 6], scenario, &counts, seed);
         if weak {
             // Music-1M labels follow hyperlinks: ~20% corrupted, including
             // mixed-type confusions.
@@ -191,12 +181,8 @@ mod tests {
         let weak = exp.split(&scale, Scenario::Overlapping, true, 1);
         assert!(weak.train.len() > clean.train.len());
         // Weak labels disagree with ground truth for some pairs.
-        let disagreements = weak
-            .train
-            .pairs
-            .iter()
-            .filter(|p| p.label.unwrap() != p.ground_truth())
-            .count();
+        let disagreements =
+            weak.train.pairs.iter().filter(|p| p.label.unwrap() != p.ground_truth()).count();
         assert!(disagreements > 0, "weak labeling produced no noise");
     }
 

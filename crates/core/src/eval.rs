@@ -37,10 +37,7 @@ mod tests {
         l2.set("title", "y");
         let mut r2 = Record::new(SourceId(1), 3);
         r2.set("title", "z");
-        let test = Domain::new(vec![
-            EntityPair::unlabeled(l, r),
-            EntityPair::unlabeled(l2, r2),
-        ]);
+        let test = Domain::new(vec![EntityPair::unlabeled(l, r), EntityPair::unlabeled(l2, r2)]);
         let auc = evaluate_prauc(&model, &test);
         assert!((0.0..=1.0).contains(&auc));
         let f1 = evaluate_f1(&model, &test);

@@ -139,9 +139,7 @@ pub fn load_model(r: &mut impl BufRead) -> io::Result<AdamelModel> {
     }
 
     let mut model = AdamelModel::new(cfg, schema);
-    model
-        .restore_params(&tensors)
-        .map_err(|e| bad(format!("parameter restore failed: {e}")))?;
+    model.restore_params(&tensors).map_err(|e| bad(format!("parameter restore failed: {e}")))?;
     Ok(model)
 }
 

@@ -37,7 +37,9 @@ pub mod model;
 pub mod pipeline;
 pub mod train;
 
-pub use attention::{attribute_importance, feature_importance, top_attribute_schemas, FeatureImportance};
+pub use attention::{
+    attribute_importance, feature_importance, top_attribute_schemas, FeatureImportance,
+};
 pub use config::{AdamelConfig, Variant};
 pub use eval::{evaluate_f1, evaluate_prauc};
 pub use io::{load_model, save_model};

@@ -8,7 +8,7 @@
 
 use crate::config::AdamelConfig;
 use adamel_schema::{EntityPair, FeatureExtractor, Schema};
-use adamel_tensor::{init, Graph, Matrix, ParamId, ParamSet, Var};
+use adamel_tensor::{init, parallel, Graph, Matrix, ParamId, ParamSet, Var};
 use adamel_text::HashedFastText;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,6 +40,13 @@ pub(crate) struct ForwardNodes {
     /// Classifier logits, shape `n x 1`.
     pub logits: Var,
 }
+
+/// Batch-inference chunk size: `predict`/`attention` build one bounded
+/// autograd graph per block of this many rows and score blocks on scoped
+/// worker threads. Every forward op is row-independent, so block boundaries
+/// (a function of this constant alone, never the thread count) do not change
+/// the numbers: chunked output is bit-identical to one monolithic graph.
+const PREDICT_CHUNK_ROWS: usize = 512;
 
 /// The AdaMEL model: feature extraction plus network parameters.
 ///
@@ -106,11 +113,23 @@ impl AdamelModel {
         self.extractor.encode_pairs(pairs)
     }
 
-    /// Builds the full forward graph over an encoded batch.
-    pub(crate) fn forward(&self, g: &mut Graph, encoded: &Matrix) -> ForwardNodes {
+    /// Estimated forward FLOPs per encoded row — the paper's §4.5
+    /// `O(FDH + HH' + FH'H_hidden)` cost, used to plan inference dispatch.
+    fn per_row_flops(&self) -> usize {
+        let f = self.extractor.num_features();
+        let (d, h, ha, hh) =
+            (self.cfg.embed_dim, self.cfg.feature_dim, self.cfg.attention_dim, self.cfg.hidden_dim);
+        f * 2 * (d * h + h * ha + ha) + 2 * (f * ha * hh + hh)
+    }
+
+    /// Builds the full forward graph over an encoded batch. Takes the batch
+    /// by value: the graph owns its constants, so passing ownership avoids
+    /// copying the `n x F·D` block on every forward.
+    pub(crate) fn forward(&self, g: &mut Graph, encoded: Matrix) -> ForwardNodes {
         let f = self.extractor.num_features();
         let d = self.cfg.embed_dim;
-        let input = g.constant(encoded.clone());
+        let n = encoded.rows();
+        let input = g.constant(encoded);
 
         // Per-feature latent projections x_j (Eq. 4).
         let mut xs = Vec::with_capacity(f);
@@ -138,7 +157,7 @@ impl AdamelModel {
         // f(x), rows sum to 1 (Eq. 6); the uniform-attention ablation
         // replaces the learned distribution with the constant 1/F vector.
         let attention = if self.cfg.uniform_attention {
-            g.constant(Matrix::full(encoded.rows(), f, 1.0 / f as f32))
+            g.constant(Matrix::full(n, f, 1.0 / f as f32))
         } else {
             g.softmax_rows(e)
         };
@@ -168,19 +187,42 @@ impl AdamelModel {
         if pairs.is_empty() {
             return Vec::new();
         }
-        let encoded = self.encode(pairs);
-        self.predict_encoded(&encoded)
+        self.predict_owned(self.encode(pairs))
     }
 
     /// Match scores for pre-encoded pairs.
     pub fn predict_encoded(&self, encoded: &Matrix) -> Vec<f32> {
+        if encoded.rows() <= PREDICT_CHUNK_ROWS {
+            // Single-graph path; the clone here matches the historical cost
+            // of the borrowed-forward copy and only hits small batches.
+            return self.predict_owned(encoded.clone());
+        }
+        let mut scores = vec![0.0f32; encoded.rows()];
+        parallel::parallel_for_row_blocks(
+            &mut scores,
+            1,
+            PREDICT_CHUNK_ROWS,
+            self.per_row_flops(),
+            |start, block| {
+                let chunk = encoded.slice_rows(start, block.len());
+                let mut g = Graph::new();
+                let nodes = self.forward(&mut g, chunk);
+                for (o, &z) in block.iter_mut().zip(g.value(nodes.logits).as_slice()) {
+                    *o = 1.0 / (1.0 + (-z).exp());
+                }
+            },
+        );
+        scores
+    }
+
+    /// Single-allocation fast path when the caller can hand over the batch.
+    fn predict_owned(&self, encoded: Matrix) -> Vec<f32> {
+        if encoded.rows() > PREDICT_CHUNK_ROWS {
+            return self.predict_encoded(&encoded);
+        }
         let mut g = Graph::new();
         let nodes = self.forward(&mut g, encoded);
-        g.value(nodes.logits)
-            .as_slice()
-            .iter()
-            .map(|&z| 1.0 / (1.0 + (-z).exp()))
-            .collect()
+        g.value(nodes.logits).as_slice().iter().map(|&z| 1.0 / (1.0 + (-z).exp())).collect()
     }
 
     /// Per-pair attention distributions `f(x)` (`n x F`, rows sum to 1) —
@@ -192,9 +234,26 @@ impl AdamelModel {
 
     /// Attention distributions for pre-encoded pairs.
     pub fn attention_encoded(&self, encoded: &Matrix) -> Matrix {
-        let mut g = Graph::new();
-        let nodes = self.forward(&mut g, encoded);
-        g.value(nodes.attention).clone()
+        let f = self.extractor.num_features();
+        if encoded.rows() <= PREDICT_CHUNK_ROWS || f == 0 {
+            let mut g = Graph::new();
+            let nodes = self.forward(&mut g, encoded.clone());
+            return g.value(nodes.attention).clone();
+        }
+        let mut out = Matrix::zeros(encoded.rows(), f);
+        parallel::parallel_for_row_blocks(
+            out.as_mut_slice(),
+            f,
+            PREDICT_CHUNK_ROWS,
+            self.per_row_flops(),
+            |start, block| {
+                let chunk = encoded.slice_rows(start, block.len() / f);
+                let mut g = Graph::new();
+                let nodes = self.forward(&mut g, chunk);
+                block.copy_from_slice(g.value(nodes.attention).as_slice());
+            },
+        );
+        out
     }
 
     /// Deep copies of all parameter tensors, in registration order (for

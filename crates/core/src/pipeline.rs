@@ -9,6 +9,7 @@
 use crate::model::AdamelModel;
 use adamel_schema::blocking::BlockingIndex;
 use adamel_schema::{EntityPair, Record};
+use adamel_tensor::parallel;
 
 /// A scored candidate match between two records.
 #[derive(Debug, Clone)]
@@ -69,11 +70,19 @@ impl Linker {
         let block_attrs: Vec<&str> = self.cfg.block_attrs.iter().map(String::as_str).collect();
         let index = BlockingIndex::new(right, &block_attrs);
 
+        // Candidate generation is independent per left record; probe the
+        // index in parallel and flatten serially so pair order (and thus
+        // output order for tied scores) matches the sequential loop.
+        let per_left: Vec<Vec<usize>> = parallel::parallel_map_collect(
+            left.len(),
+            self.cfg.max_candidates_per_record * 64,
+            |li| index.candidates_for(&left[li], &block_attrs, self.cfg.max_candidates_per_record),
+        );
         let mut pairs = Vec::new();
         let mut pair_ids = Vec::new();
-        for (li, l) in left.iter().enumerate() {
-            for ri in index.candidates_for(l, &block_attrs, self.cfg.max_candidates_per_record) {
-                pairs.push(EntityPair::unlabeled(l.clone(), right[ri].clone()));
+        for (li, candidates) in per_left.iter().enumerate() {
+            for &ri in candidates {
+                pairs.push(EntityPair::unlabeled(left[li].clone(), right[ri].clone()));
                 pair_ids.push((li, ri));
             }
         }
@@ -103,8 +112,8 @@ impl Linker {
 mod tests {
     use super::*;
     use crate::config::AdamelConfig;
-    use crate::train::{fit, };
     use crate::config::Variant;
+    use crate::train::fit;
     use adamel_schema::{Domain, Schema, SourceId};
 
     fn rec(source: u32, id: u64, name: &str) -> Record {
@@ -132,7 +141,8 @@ mod tests {
     fn links_matching_records() {
         let linker = trained_linker(false);
         let left = vec![rec(0, 100, "alpha beta"), rec(0, 101, "gamma delta")];
-        let right = vec![rec(1, 200, "gamma delta"), rec(1, 201, "alpha beta"), rec(1, 202, "omicron pi")];
+        let right =
+            vec![rec(1, 200, "gamma delta"), rec(1, 201, "alpha beta"), rec(1, 202, "omicron pi")];
         let matches = linker.link(&left, &right);
         assert!(!matches.is_empty());
         // Top match should pair identical names.
@@ -160,7 +170,8 @@ mod tests {
     fn results_sorted_descending() {
         let linker = trained_linker(false);
         let left = vec![rec(0, 1, "alpha beta"), rec(0, 2, "gamma delta")];
-        let right = vec![rec(1, 3, "alpha beta"), rec(1, 4, "gamma delta"), rec(1, 5, "alpha gamma")];
+        let right =
+            vec![rec(1, 3, "alpha beta"), rec(1, 4, "gamma delta"), rec(1, 5, "alpha gamma")];
         let matches = linker.link(&left, &right);
         for w in matches.windows(2) {
             assert!(w[0].score >= w[1].score);

@@ -84,9 +84,7 @@ pub fn fit(
 
     for _epoch in 0..cfg.epochs {
         // Algorithm 1 line 5: f̄(x') with current parameters.
-        let target_mean = target_enc
-            .as_ref()
-            .map(|enc| model.attention_encoded(enc).mean_rows());
+        let target_mean = target_enc.as_ref().map(|enc| model.attention_encoded(enc).mean_rows());
 
         for i in (1..n).rev() {
             order.swap(i, rng.gen_range(0..=i));
@@ -112,7 +110,7 @@ pub fn fit(
                 Matrix::from_vec(chunk.len(), 1, chunk.iter().map(|&i| train_labels[i]).collect());
 
             let mut g = Graph::new();
-            let nodes = model.forward(&mut g, &batch_enc);
+            let nodes = model.forward(&mut g, batch_enc);
             let base = g.bce_with_logits(nodes.logits, batch_y);
             let mut loss = match &target_mean {
                 Some(mean) => {
@@ -130,7 +128,10 @@ pub fn fit(
             // step sizes would otherwise overweight S_U regardless of φ.
             if batches == 0 {
                 if let Some((y, w)) = &support_batch {
-                    let support_nodes = model.forward(&mut g, support_enc.as_ref().unwrap());
+                    // The support encoding is reused every epoch, so the graph
+                    // gets its own copy.
+                    let support_nodes =
+                        model.forward(&mut g, support_enc.as_ref().unwrap().clone());
                     let s = g.weighted_bce_with_logits(support_nodes.logits, y.clone(), w.clone());
                     let s = g.scale(s, cfg.phi);
                     loss = g.add(loss, s);
@@ -244,10 +245,7 @@ mod tests {
             id += 2;
         }
         let target = Domain::new(
-            train
-                .iter()
-                .map(|p| EntityPair::unlabeled(p.left.clone(), p.right.clone()))
-                .collect(),
+            train.iter().map(|p| EntityPair::unlabeled(p.left.clone(), p.right.clone())).collect(),
         );
         let support = Domain::new(train[..4].to_vec());
         (Schema::new(vec!["title".into()]), Domain::new(train), target, support)
@@ -339,13 +337,8 @@ mod tests {
         let model = AdamelModel::new(AdamelConfig::tiny(), schema);
         let train_enc = model.encode(&train.pairs);
         let support_enc = model.encode(&support.pairs);
-        let w = support_weights(
-            &model,
-            &train_enc,
-            &train.labels(),
-            &support_enc,
-            &support.labels(),
-        );
+        let w =
+            support_weights(&model, &train_enc, &train.labels(), &support_enc, &support.labels());
         assert_eq!(w.len(), support.len());
         for v in w {
             assert!(v.is_finite() && v > 0.0);
@@ -429,9 +422,8 @@ mod equivalence_tests {
     #[test]
     fn single_class_training_domain_is_guarded() {
         let (schema, train, target) = small_task();
-        let positives = Domain::new(
-            train.pairs.iter().filter(|p| p.label == Some(true)).cloned().collect(),
-        );
+        let positives =
+            Domain::new(train.pairs.iter().filter(|p| p.label == Some(true)).cloned().collect());
         let support = Domain::new(train.pairs[..2].to_vec());
         let mut model = AdamelModel::new(AdamelConfig::tiny(), schema);
         fit(&mut model, Variant::Few, &positives, Some(&target), Some(&support));

@@ -1,0 +1,78 @@
+//! Chunked batch inference must be invisible: predictions and attention
+//! weights over a large batch (which is split into bounded per-chunk graphs)
+//! must be bit-identical to predicting the same pairs in smaller monolithic
+//! batches, and independent of the worker thread count.
+
+use adamel::config::AdamelConfig;
+use adamel::model::AdamelModel;
+use adamel_schema::{EntityPair, Record, Schema, SourceId};
+use adamel_tensor::parallel;
+
+fn rec(source: u32, id: u64, name: &str, city: &str) -> Record {
+    let mut r = Record::new(SourceId(source), id);
+    r.set("name", name);
+    r.set("city", city);
+    r
+}
+
+/// 600 synthetic pairs — enough to cross the 512-row chunk boundary.
+fn pairs() -> Vec<EntityPair> {
+    let names = ["acme corp", "globex", "initech", "umbrella", "hooli", "stark"];
+    let cities = ["berlin", "tokyo", "lima", ""];
+    (0..600u64)
+        .map(|i| {
+            let n = names[(i % 6) as usize];
+            let c = cities[(i % 4) as usize];
+            let other = names[((i + 1) % 6) as usize];
+            let left = rec(0, i, n, c);
+            let right = if i % 3 == 0 { rec(1, i, n, c) } else { rec(1, i, other, c) };
+            EntityPair::unlabeled(left, right)
+        })
+        .collect()
+}
+
+fn model() -> AdamelModel {
+    let schema = Schema::new(vec!["name".into(), "city".into()]);
+    AdamelModel::new(AdamelConfig::tiny(), schema)
+}
+
+#[test]
+fn chunked_predict_matches_small_batches() {
+    let m = model();
+    let all = pairs();
+    let full = m.predict(&all);
+    assert_eq!(full.len(), all.len());
+
+    // Split points chosen to straddle the 512-row chunk boundary.
+    let mut stitched = Vec::new();
+    for part in [&all[..200], &all[200..512], &all[512..]] {
+        stitched.extend(m.predict(part));
+    }
+    assert_eq!(full, stitched, "chunked batch disagrees with monolithic sub-batches");
+}
+
+#[test]
+fn chunked_attention_matches_small_batches() {
+    let m = model();
+    let all = pairs();
+    let full = m.attention(&all);
+    assert_eq!(full.rows(), all.len());
+
+    let head = m.attention(&all[..500]);
+    let tail = m.attention(&all[500..]);
+    for i in 0..all.len() {
+        let expected = if i < 500 { head.row(i) } else { tail.row(i - 500) };
+        assert_eq!(full.row(i), expected, "attention row {i} differs");
+    }
+}
+
+#[test]
+fn predict_is_thread_count_invariant() {
+    let m = model();
+    let all = pairs();
+    let one = parallel::with_threads(1, || m.predict(&all));
+    let four = parallel::with_threads(4, || m.predict(&all));
+    let eight = parallel::with_threads(8, || m.predict(&all));
+    assert_eq!(one, four);
+    assert_eq!(one, eight);
+}

@@ -49,17 +49,94 @@ const MUSIC_ATTRS: &[&str] = &["song_name", "artist_name", "album_name", "genre"
 /// The 11 Table 7 datasets.
 pub fn benchmark_specs() -> Vec<BenchmarkSpec> {
     vec![
-        BenchmarkSpec { name: "Amazon-Google", domain: "Software", dirty: false, attributes: PRODUCT_ATTRS, num_entities: 220, tier: Tier::Hard },
-        BenchmarkSpec { name: "Beer", domain: "Product", dirty: false, attributes: PRODUCT_ATTRS, num_entities: 100, tier: Tier::Medium },
-        BenchmarkSpec { name: "DBLP-ACM", domain: "Citation", dirty: false, attributes: CITATION_ATTRS, num_entities: 250, tier: Tier::Easy },
-        BenchmarkSpec { name: "DBLP-Google", domain: "Citation", dirty: false, attributes: CITATION_ATTRS, num_entities: 250, tier: Tier::Medium },
-        BenchmarkSpec { name: "Fodors-Zagats", domain: "Restaurant", dirty: false, attributes: RESTAURANT_ATTRS, num_entities: 120, tier: Tier::Easy },
-        BenchmarkSpec { name: "iTunes-Amazon", domain: "Music", dirty: false, attributes: MUSIC_ATTRS, num_entities: 150, tier: Tier::Medium },
-        BenchmarkSpec { name: "Walmart-Amazon", domain: "Electronics", dirty: false, attributes: PRODUCT_ATTRS, num_entities: 220, tier: Tier::Hard },
-        BenchmarkSpec { name: "DBLP-ACM", domain: "Citation", dirty: true, attributes: CITATION_ATTRS, num_entities: 250, tier: Tier::Easy },
-        BenchmarkSpec { name: "DBLP-Google", domain: "Citation", dirty: true, attributes: CITATION_ATTRS, num_entities: 250, tier: Tier::Medium },
-        BenchmarkSpec { name: "iTunes-Amazon", domain: "Music", dirty: true, attributes: MUSIC_ATTRS, num_entities: 150, tier: Tier::Medium },
-        BenchmarkSpec { name: "Walmart-Amazon", domain: "Electronics", dirty: true, attributes: PRODUCT_ATTRS, num_entities: 220, tier: Tier::Hard },
+        BenchmarkSpec {
+            name: "Amazon-Google",
+            domain: "Software",
+            dirty: false,
+            attributes: PRODUCT_ATTRS,
+            num_entities: 220,
+            tier: Tier::Hard,
+        },
+        BenchmarkSpec {
+            name: "Beer",
+            domain: "Product",
+            dirty: false,
+            attributes: PRODUCT_ATTRS,
+            num_entities: 100,
+            tier: Tier::Medium,
+        },
+        BenchmarkSpec {
+            name: "DBLP-ACM",
+            domain: "Citation",
+            dirty: false,
+            attributes: CITATION_ATTRS,
+            num_entities: 250,
+            tier: Tier::Easy,
+        },
+        BenchmarkSpec {
+            name: "DBLP-Google",
+            domain: "Citation",
+            dirty: false,
+            attributes: CITATION_ATTRS,
+            num_entities: 250,
+            tier: Tier::Medium,
+        },
+        BenchmarkSpec {
+            name: "Fodors-Zagats",
+            domain: "Restaurant",
+            dirty: false,
+            attributes: RESTAURANT_ATTRS,
+            num_entities: 120,
+            tier: Tier::Easy,
+        },
+        BenchmarkSpec {
+            name: "iTunes-Amazon",
+            domain: "Music",
+            dirty: false,
+            attributes: MUSIC_ATTRS,
+            num_entities: 150,
+            tier: Tier::Medium,
+        },
+        BenchmarkSpec {
+            name: "Walmart-Amazon",
+            domain: "Electronics",
+            dirty: false,
+            attributes: PRODUCT_ATTRS,
+            num_entities: 220,
+            tier: Tier::Hard,
+        },
+        BenchmarkSpec {
+            name: "DBLP-ACM",
+            domain: "Citation",
+            dirty: true,
+            attributes: CITATION_ATTRS,
+            num_entities: 250,
+            tier: Tier::Easy,
+        },
+        BenchmarkSpec {
+            name: "DBLP-Google",
+            domain: "Citation",
+            dirty: true,
+            attributes: CITATION_ATTRS,
+            num_entities: 250,
+            tier: Tier::Medium,
+        },
+        BenchmarkSpec {
+            name: "iTunes-Amazon",
+            domain: "Music",
+            dirty: true,
+            attributes: MUSIC_ATTRS,
+            num_entities: 150,
+            tier: Tier::Medium,
+        },
+        BenchmarkSpec {
+            name: "Walmart-Amazon",
+            domain: "Electronics",
+            dirty: true,
+            attributes: PRODUCT_ATTRS,
+            num_entities: 220,
+            tier: Tier::Hard,
+        },
     ]
 }
 
@@ -293,8 +370,7 @@ mod tests {
             let sharing = negs
                 .iter()
                 .filter(|p| {
-                    let a: Vec<String> =
-                        p.left.values.values().flat_map(|v| tokenize(v)).collect();
+                    let a: Vec<String> = p.left.values.values().flat_map(|v| tokenize(v)).collect();
                     let b: Vec<String> =
                         p.right.values.values().flat_map(|v| tokenize(v)).collect();
                     a.iter().any(|t| b.contains(t))

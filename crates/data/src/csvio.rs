@@ -163,10 +163,8 @@ mod tests {
         let mut l2 = Record::new(SourceId(1), 11);
         l2.set("title", "Hello");
         let r2 = Record::new(SourceId(3), 12);
-        let domain = Domain::new(vec![
-            EntityPair::labeled(l, r, true),
-            EntityPair::unlabeled(l2, r2),
-        ]);
+        let domain =
+            Domain::new(vec![EntityPair::labeled(l, r, true), EntityPair::unlabeled(l2, r2)]);
         let schema = Schema::new(vec!["artist".into(), "title".into()]);
         (domain, schema)
     }

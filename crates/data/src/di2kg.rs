@@ -126,7 +126,7 @@ impl Di2kgCorpus {
     fn assign_match_components(&mut self) {
         let n = self.records.len();
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -166,9 +166,7 @@ impl Di2kgCorpus {
         let mut skipped = 0;
         for (l, r, label) in &self.labels {
             match (self.record(l), self.record(r)) {
-                (Some(a), Some(b)) => {
-                    pairs.push(EntityPair::labeled(a.clone(), b.clone(), *label))
-                }
+                (Some(a), Some(b)) => pairs.push(EntityPair::labeled(a.clone(), b.clone(), *label)),
                 _ => skipped += 1,
             }
         }
@@ -229,7 +227,10 @@ www.catalog.com//7,www.getprice.com//3,1
     #[test]
     fn quoted_values_survive() {
         let c = corpus();
-        assert_eq!(c.record("www.getprice.com//3").unwrap().get("page_title"), Some("dell, u2412m"));
+        assert_eq!(
+            c.record("www.getprice.com//3").unwrap().get("page_title"),
+            Some("dell, u2412m")
+        );
     }
 
     #[test]

@@ -59,12 +59,7 @@ pub fn monitor_incremental(
     let all = world.all_sources();
     let support_filter = filters::both_in(all.clone());
     let mut support = sampler.positives(support_size / 2, &support_filter, &mut rng);
-    support.extend(sampler.negatives(
-        support_size - support.len(),
-        0.6,
-        &support_filter,
-        &mut rng,
-    ));
+    support.extend(sampler.negatives(support_size - support.len(), 0.6, &support_filter, &mut rng));
     let support = Domain::new(support);
 
     // Growing target: start with `initial_sources`, add `sources_per_step`
@@ -92,12 +87,7 @@ pub fn monitor_incremental(
         };
         let want = per_source_pairs * added.len();
         let mut new_pairs = sampler.positives(want / 4, &added_filter, &mut rng);
-        new_pairs.extend(sampler.negatives(
-            want - new_pairs.len(),
-            0.6,
-            &added_filter,
-            &mut rng,
-        ));
+        new_pairs.extend(sampler.negatives(want - new_pairs.len(), 0.6, &added_filter, &mut rng));
         for p in &mut new_pairs {
             p.label = None;
         }

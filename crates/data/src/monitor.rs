@@ -274,9 +274,11 @@ pub fn render_monitor(
 
     // C3: seen and unseen sources phrase prod_type from disjoint vocabularies.
     let prod_type = if is_seen_source {
-        names::PROD_TYPES_SOURCE[(e.id as usize + style.vocab_shift) % names::PROD_TYPES_SOURCE.len()]
+        names::PROD_TYPES_SOURCE
+            [(e.id as usize + style.vocab_shift) % names::PROD_TYPES_SOURCE.len()]
     } else {
-        names::PROD_TYPES_TARGET[(e.id as usize + style.vocab_shift) % names::PROD_TYPES_TARGET.len()]
+        names::PROD_TYPES_TARGET
+            [(e.id as usize + style.vocab_shift) % names::PROD_TYPES_TARGET.len()]
     };
     set_attr(&mut r, "prod_type", prod_type.to_string(), rng);
 
@@ -287,7 +289,12 @@ pub fn render_monitor(
     let price = (e.price as f64 * rng.gen_range(0.92..1.08)) as u32;
     set_attr(&mut r, "price", format!("{price}"), rng);
     set_attr(&mut r, "refresh_rate", format!("{} hz", e.refresh), rng);
-    set_attr(&mut r, "connectivity", CONNECTIVITY[e.id as usize % CONNECTIVITY.len()].to_string(), rng);
+    set_attr(
+        &mut r,
+        "connectivity",
+        CONNECTIVITY[e.id as usize % CONNECTIVITY.len()].to_string(),
+        rng,
+    );
     set_attr(&mut r, "color", COLORS[e.id as usize % COLORS.len()].to_string(), rng);
     set_attr(&mut r, "weight", format!("{:.1} kg", 2.5 + (e.size as f32) / 8.0), rng);
     set_attr(&mut r, "warranty", format!("{} year", 1 + e.id % 3), rng);
@@ -332,9 +339,8 @@ mod tests {
     fn page_title_near_complete_but_others_sparse() {
         let w = world();
         let total = w.records.len() as f64;
-        let count = |attr: &str| {
-            w.records.iter().filter(|r| !r.is_missing(attr)).count() as f64 / total
-        };
+        let count =
+            |attr: &str| w.records.iter().filter(|r| !r.is_missing(attr)).count() as f64 / total;
         assert!(count("page_title") > 0.9);
         assert!(count("source") > 0.99);
         assert!(count("screen_size") < 0.6);

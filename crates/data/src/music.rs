@@ -260,7 +260,12 @@ pub fn default_styles(num_sources: usize) -> Vec<SourceStyle> {
 }
 
 /// Renders one canonical entity through a website style.
-pub fn render(entity: &MusicEntity, source: SourceId, style: &SourceStyle, rng: &mut StdRng) -> Record {
+pub fn render(
+    entity: &MusicEntity,
+    source: SourceId,
+    style: &SourceStyle,
+    rng: &mut StdRng,
+) -> Record {
     let mut r = Record::new(source, entity.id);
 
     let fmt_name = |name: &str| -> String {
@@ -277,17 +282,13 @@ pub fn render(entity: &MusicEntity, source: SourceId, style: &SourceStyle, rng: 
                     name.to_string()
                 }
             }
-            NameFormat::SurnameOnly => {
-                name.split_whitespace().last().unwrap_or(name).to_string()
-            }
+            NameFormat::SurnameOnly => name.split_whitespace().last().unwrap_or(name).to_string(),
         }
     };
 
     let genre_phrase = phrase_rotation(names::GENRES[entity.genre], style.vocab_shift);
-    let version_suffix = entity
-        .version
-        .map(|v| format!(" ({})", names::VERSION_TAGS[v]))
-        .unwrap_or_default();
+    let version_suffix =
+        entity.version.map(|v| format!(" ({})", names::VERSION_TAGS[v])).unwrap_or_default();
     let display_title = match entity.etype {
         EntityType::Artist => fmt_name(&entity.performer),
         EntityType::Album => entity.title.clone(),
@@ -362,7 +363,12 @@ mod tests {
 
     #[test]
     fn entity_counts_follow_config() {
-        let cfg = MusicConfig { num_artists: 10, albums_per_artist: 2, tracks_per_album: 3, ..MusicConfig::default() };
+        let cfg = MusicConfig {
+            num_artists: 10,
+            albums_per_artist: 2,
+            tracks_per_album: 3,
+            ..MusicConfig::default()
+        };
         let w = MusicWorld::generate(&cfg, 1);
         let artists = w.entities.iter().filter(|e| e.etype == EntityType::Artist).count();
         let albums = w.entities.iter().filter(|e| e.etype == EntityType::Album).count();

@@ -8,9 +8,9 @@
 use rand::Rng;
 
 const SYLLABLES: &[&str] = &[
-    "ka", "ro", "mi", "ta", "lu", "ven", "sol", "dar", "el", "an", "be", "chi", "do", "fa",
-    "gre", "hol", "is", "jo", "kel", "lor", "mar", "nel", "or", "pel", "qui", "ras", "sten",
-    "tor", "ul", "vor", "wes", "xan", "yor", "zel", "bran", "cor", "del", "fen", "gar", "hav",
+    "ka", "ro", "mi", "ta", "lu", "ven", "sol", "dar", "el", "an", "be", "chi", "do", "fa", "gre",
+    "hol", "is", "jo", "kel", "lor", "mar", "nel", "or", "pel", "qui", "ras", "sten", "tor", "ul",
+    "vor", "wes", "xan", "yor", "zel", "bran", "cor", "del", "fen", "gar", "hav",
 ];
 
 const LAST_SYLLABLES: &[&str] = &[
@@ -20,40 +20,79 @@ const LAST_SYLLABLES: &[&str] = &[
 
 /// Words used to build album / track titles.
 pub const TITLE_WORDS: &[&str] = &[
-    "midnight", "golden", "echo", "river", "dream", "fire", "shadow", "light", "stone",
-    "velvet", "electric", "silent", "broken", "wild", "neon", "crystal", "summer", "winter",
-    "road", "heart", "city", "ocean", "star", "moon", "ghost", "paper", "glass", "iron",
-    "thunder", "rain", "horizon", "garden", "mirror", "ashes", "embers", "waves",
+    "midnight", "golden", "echo", "river", "dream", "fire", "shadow", "light", "stone", "velvet",
+    "electric", "silent", "broken", "wild", "neon", "crystal", "summer", "winter", "road", "heart",
+    "city", "ocean", "star", "moon", "ghost", "paper", "glass", "iron", "thunder", "rain",
+    "horizon", "garden", "mirror", "ashes", "embers", "waves",
 ];
 
 /// Genre vocabulary; per-source distribution shift over this list realizes
 /// challenge C3.
 pub const GENRES: &[&str] = &[
-    "rock", "pop", "jazz", "classical", "electronic", "hip hop", "folk", "metal", "blues",
-    "indie", "soul", "country", "ambient", "punk",
+    "rock",
+    "pop",
+    "jazz",
+    "classical",
+    "electronic",
+    "hip hop",
+    "folk",
+    "metal",
+    "blues",
+    "indie",
+    "soul",
+    "country",
+    "ambient",
+    "punk",
 ];
 
 /// Country vocabulary.
 pub const COUNTRIES: &[&str] = &[
-    "usa", "uk", "germany", "france", "japan", "brazil", "sweden", "canada", "australia",
-    "italy", "spain", "norway", "iceland", "korea",
+    "usa",
+    "uk",
+    "germany",
+    "france",
+    "japan",
+    "brazil",
+    "sweden",
+    "canada",
+    "australia",
+    "italy",
+    "spain",
+    "norway",
+    "iceland",
+    "korea",
 ];
 
 /// Monitor manufacturer vocabulary.
 pub const MANUFACTURERS: &[&str] = &[
-    "dell", "samsung", "lg", "acer", "asus", "hp", "benq", "viewsonic", "aoc", "philips",
-    "lenovo", "msi", "gigabyte", "nec",
+    "dell",
+    "samsung",
+    "lg",
+    "acer",
+    "asus",
+    "hp",
+    "benq",
+    "viewsonic",
+    "aoc",
+    "philips",
+    "lenovo",
+    "msi",
+    "gigabyte",
+    "nec",
 ];
 
 /// Monitor product-type phrasing used by *seen* sources; target sources use
 /// [`PROD_TYPES_TARGET`] (challenge C3, Fig. 12).
-pub const PROD_TYPES_SOURCE: &[&str] = &[
-    "lcd monitor", "led monitor", "computer monitor", "desktop monitor", "flat panel",
-];
+pub const PROD_TYPES_SOURCE: &[&str] =
+    &["lcd monitor", "led monitor", "computer monitor", "desktop monitor", "flat panel"];
 
 /// Monitor product-type phrasing used by *unseen* sources.
 pub const PROD_TYPES_TARGET: &[&str] = &[
-    "gaming display", "curved display", "ips display", "ultrawide screen", "professional display",
+    "gaming display",
+    "curved display",
+    "ips display",
+    "ultrawide screen",
+    "professional display",
 ];
 
 /// Track version tags; these make the "track" entity type diverse (remixes
@@ -62,9 +101,8 @@ pub const VERSION_TAGS: &[&str] =
     &["original", "remix", "live", "acoustic", "radio edit", "cover", "extended mix", "demo"];
 
 /// Diacritic-decorated variants used to build "native language" name forms.
-const NATIVE_DECOR: &[(&str, &str)] = &[
-    ("a", "á"), ("e", "é"), ("o", "ö"), ("u", "ü"), ("i", "í"), ("n", "ñ"), ("c", "ç"),
-];
+const NATIVE_DECOR: &[(&str, &str)] =
+    &[("a", "á"), ("e", "é"), ("o", "ö"), ("u", "ü"), ("i", "í"), ("n", "ñ"), ("c", "ç")];
 
 /// A capitalized given/last name pair like "Kelmar Bergson".
 pub fn person_name(rng: &mut impl Rng) -> String {

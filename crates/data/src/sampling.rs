@@ -130,10 +130,7 @@ impl<'a> PairSampler<'a> {
         // Negatives are cross-source like positives: MEL links records
         // *across* sources, and same-source negatives would let models read
         // the label off the shared `source` attribute.
-        if ra.entity_id == rb.entity_id
-            || ra.source == rb.source
-            || !filter(ra.source, rb.source)
-        {
+        if ra.entity_id == rb.entity_id || ra.source == rb.source || !filter(ra.source, rb.source) {
             return false;
         }
         seen.insert((a.min(b), a.max(b)))
@@ -273,6 +270,10 @@ mod tests {
                 a.iter().any(|t| b.contains(t))
             })
             .count();
-        assert!(sharing * 2 >= neg.len(), "only {sharing}/{} hard negatives share tokens", neg.len());
+        assert!(
+            sharing * 2 >= neg.len(),
+            "only {sharing}/{} hard negatives share tokens",
+            neg.len()
+        );
     }
 }

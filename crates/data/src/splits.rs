@@ -152,11 +152,7 @@ pub fn make_mel_split(
         p.label = None;
     }
 
-    MelSplit {
-        train: Domain::new(train),
-        support: Domain::new(support),
-        test: Domain::new(test),
-    }
+    MelSplit { train: Domain::new(train), support: Domain::new(support), test: Domain::new(test) }
 }
 
 /// Applies weak "hyperlink" labeling noise to a labeled domain — the
@@ -242,8 +238,24 @@ mod tests {
     #[test]
     fn split_deterministic() {
         let (records, seen, unseen) = fixture();
-        let a = make_mel_split(&records, "name", &seen, &unseen, Scenario::Overlapping, &SplitCounts::tiny(), 9);
-        let b = make_mel_split(&records, "name", &seen, &unseen, Scenario::Overlapping, &SplitCounts::tiny(), 9);
+        let a = make_mel_split(
+            &records,
+            "name",
+            &seen,
+            &unseen,
+            Scenario::Overlapping,
+            &SplitCounts::tiny(),
+            9,
+        );
+        let b = make_mel_split(
+            &records,
+            "name",
+            &seen,
+            &unseen,
+            Scenario::Overlapping,
+            &SplitCounts::tiny(),
+            9,
+        );
         assert_eq!(a.train.len(), b.train.len());
         assert_eq!(a.test.ground_truth(), b.test.ground_truth());
     }
@@ -251,7 +263,15 @@ mod tests {
     #[test]
     fn weak_labels_flip_expected_share() {
         let (records, seen, unseen) = fixture();
-        let mut split = make_mel_split(&records, "name", &seen, &unseen, Scenario::Overlapping, &SplitCounts::tiny(), 3);
+        let mut split = make_mel_split(
+            &records,
+            "name",
+            &seen,
+            &unseen,
+            Scenario::Overlapping,
+            &SplitCounts::tiny(),
+            3,
+        );
         let n = split.train.len();
         let flipped = weaken_labels(&mut split.train, 0.3, 5);
         assert!(flipped > 0 && flipped < n);
@@ -262,7 +282,15 @@ mod tests {
     #[test]
     fn weak_labels_zero_rate_is_noop() {
         let (records, seen, unseen) = fixture();
-        let mut split = make_mel_split(&records, "name", &seen, &unseen, Scenario::Overlapping, &SplitCounts::tiny(), 3);
+        let mut split = make_mel_split(
+            &records,
+            "name",
+            &seen,
+            &unseen,
+            Scenario::Overlapping,
+            &SplitCounts::tiny(),
+            3,
+        );
         assert_eq!(weaken_labels(&mut split.train, 0.0, 5), 0);
     }
 }

@@ -28,9 +28,7 @@ pub fn pr_curve(scores: &[f32], labels: &[bool]) -> Vec<PrPoint> {
         return Vec::new();
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
 
     let mut points = Vec::new();
     let mut tp = 0usize;

@@ -22,7 +22,13 @@ pub struct TsneConfig {
 
 impl Default for TsneConfig {
     fn default() -> Self {
-        Self { perplexity: 30.0, iterations: 300, learning_rate: 100.0, exaggeration: 12.0, seed: 0 }
+        Self {
+            perplexity: 30.0,
+            iterations: 300,
+            learning_rate: 100.0,
+            exaggeration: 12.0,
+            seed: 0,
+        }
     }
 }
 
@@ -121,11 +127,8 @@ fn pairwise_sq_distances(points: &[Vec<f32>]) -> Vec<f64> {
     let mut d2 = vec![0.0f64; n * n];
     for i in 0..n {
         for j in (i + 1)..n {
-            let dist: f64 = points[i]
-                .iter()
-                .zip(&points[j])
-                .map(|(a, b)| ((a - b) as f64).powi(2))
-                .sum();
+            let dist: f64 =
+                points[i].iter().zip(&points[j]).map(|(a, b)| ((a - b) as f64).powi(2)).sum();
             d2[i * n + j] = dist;
             d2[j * n + i] = dist;
         }

@@ -85,11 +85,8 @@ mod tests {
 
     #[test]
     fn candidates_share_tokens() {
-        let records = vec![
-            rec(1, "hey jude"),
-            rec(2, "hey there delilah"),
-            rec(3, "yellow submarine"),
-        ];
+        let records =
+            vec![rec(1, "hey jude"), rec(2, "hey there delilah"), rec(3, "yellow submarine")];
         let idx = BlockingIndex::new(&records, &["title"]);
         let q = rec(9, "hey jude remix");
         let cands = idx.candidates_for(&q, &["title"], 10);

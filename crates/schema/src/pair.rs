@@ -89,9 +89,7 @@ impl Domain {
     pub fn labels(&self) -> Vec<f32> {
         self.pairs
             .iter()
-            .map(|p| {
-                f32::from(p.label.expect("Domain::labels called on unlabeled pair"))
-            })
+            .map(|p| f32::from(p.label.expect("Domain::labels called on unlabeled pair")))
             .collect()
     }
 

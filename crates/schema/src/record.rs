@@ -94,11 +94,7 @@ impl Schema {
     /// unknown names are ignored.
     pub fn project(&self, keep: &[&str]) -> Schema {
         Schema::new(
-            self.attributes
-                .iter()
-                .filter(|a| keep.contains(&a.as_str()))
-                .cloned()
-                .collect(),
+            self.attributes.iter().filter(|a| keep.contains(&a.as_str())).cloned().collect(),
         )
     }
 
@@ -106,11 +102,7 @@ impl Schema {
     /// attributes" column).
     pub fn without(&self, drop: &[&str]) -> Schema {
         Schema::new(
-            self.attributes
-                .iter()
-                .filter(|a| !drop.contains(&a.as_str()))
-                .cloned()
-                .collect(),
+            self.attributes.iter().filter(|a| !drop.contains(&a.as_str())).cloned().collect(),
         )
     }
 

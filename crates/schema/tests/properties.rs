@@ -5,18 +5,15 @@ use adamel_text::HashedFastText;
 use proptest::prelude::*;
 
 fn arb_record() -> impl Strategy<Value = Record> {
-    (
-        0u32..6,
-        0u64..40,
-        proptest::collection::btree_map("[a-c]", "[a-z ]{0,12}", 0..4),
-    )
-        .prop_map(|(src, id, kv)| {
+    (0u32..6, 0u64..40, proptest::collection::btree_map("[a-c]", "[a-z ]{0,12}", 0..4)).prop_map(
+        |(src, id, kv)| {
             let mut r = Record::new(SourceId(src), id);
             for (k, v) in kv {
                 r.set(k, v);
             }
             r
-        })
+        },
+    )
 }
 
 proptest! {

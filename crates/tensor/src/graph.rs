@@ -37,15 +37,27 @@ enum Op {
     SoftmaxRows(Var),
     ConcatCols(Vec<Var>),
     /// Contiguous column window `[start, start+width)` of the input.
-    SliceCols { input: Var, start: usize, width: usize },
+    SliceCols {
+        input: Var,
+        start: usize,
+        width: usize,
+    },
     MeanAll(Var),
     SumAll(Var),
     /// Mean binary cross-entropy on logits vs. constant targets, with
     /// per-sample constant weights. Fused for numerical stability.
-    WeightedBceWithLogits { logits: Var, targets: Matrix, weights: Matrix },
+    WeightedBceWithLogits {
+        logits: Var,
+        targets: Matrix,
+        weights: Matrix,
+    },
     /// Mean over rows of `KL(q || p_i)` with a constant row distribution `q`
     /// and `p` the (already normalized) rows of the input.
-    KlConstRows { probs: Var, target: Matrix, eps: f32 },
+    KlConstRows {
+        probs: Var,
+        target: Matrix,
+        eps: f32,
+    },
 }
 
 struct Node {
@@ -192,7 +204,12 @@ impl Graph {
     /// per-sample non-negative weights (both constants, `n x 1`). The loss is
     /// `mean_i w_i * bce(sigmoid(z_i), y_i)` computed as
     /// `w * (max(z,0) - z*y + ln(1 + e^{-|z|}))`.
-    pub fn weighted_bce_with_logits(&mut self, logits: Var, targets: Matrix, weights: Matrix) -> Var {
+    pub fn weighted_bce_with_logits(
+        &mut self,
+        logits: Var,
+        targets: Matrix,
+        weights: Matrix,
+    ) -> Var {
         let z = &self.nodes[logits.0].value;
         assert_eq!(z.cols(), 1, "bce_with_logits expects n x 1 logits");
         assert_eq!(z.shape(), targets.shape(), "bce targets shape mismatch");
@@ -323,12 +340,7 @@ impl Graph {
                     let p = &self.nodes[idx].value;
                     let mut gz = Matrix::zeros(p.rows(), p.cols());
                     for i in 0..p.rows() {
-                        let dot: f32 = grad
-                            .row(i)
-                            .iter()
-                            .zip(p.row(i))
-                            .map(|(g, pi)| g * pi)
-                            .sum();
+                        let dot: f32 = grad.row(i).iter().zip(p.row(i)).map(|(g, pi)| g * pi).sum();
                         for j in 0..p.cols() {
                             gz.set(i, j, p.get(i, j) * (grad.get(i, j) - dot));
                         }

@@ -22,10 +22,11 @@
 //! let b = params.insert("b", Matrix::zeros(1, 1));
 //! let mut opt = Adam::with_lr(0.1);
 //!
-//! // Learn y = x0 + x1 with a linear model.
-//! let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 1.0]]);
-//! let y = Matrix::from_vec(2, 1, vec![3.0, 4.0]);
-//! for _ in 0..500 {
+//! // Learn y = x0 + x1 with a linear model (three points so the
+//! // three-parameter system has a unique least-squares solution).
+//! let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 1.0], vec![2.0, 2.0]]);
+//! let y = Matrix::from_vec(3, 1, vec![3.0, 4.0, 4.0]);
+//! for _ in 0..2500 {
 //!     params.zero_grads();
 //!     let mut g = Graph::new();
 //!     let xv = g.constant(x.clone());
@@ -51,6 +52,7 @@ mod optim;
 mod params;
 
 pub mod init;
+pub mod parallel;
 
 pub use graph::{Graph, Var};
 pub use matrix::Matrix;

@@ -5,7 +5,15 @@
 //! only kernel that matters is [`Matrix::matmul`], which is written as an
 //! `ikj`-ordered triple loop so the inner loop is a contiguous SAXPY the
 //! compiler auto-vectorizes.
+//!
+//! Every output-row-partitioned kernel (the three matmul variants and the
+//! large elementwise/broadcast ops) dispatches through
+//! [`crate::parallel::parallel_for_rows`]: inputs big enough to clear the
+//! FLOP threshold split their output rows across scoped threads, while small
+//! inputs keep the serial fast path. Each thread runs the same per-row loop
+//! in the same order, so results are bit-identical at any thread count.
 
+use crate::parallel;
 use std::fmt;
 
 /// A dense, row-major matrix of `f32` values.
@@ -164,9 +172,8 @@ impl Matrix {
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(n, m);
-        for i in 0..n {
+        parallel::parallel_for_rows(&mut out.data, m, 2 * k * m, |i, out_row| {
             let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * m..(i + 1) * m];
             for (p, &a_ip) in a_row.iter().enumerate() {
                 if a_ip == 0.0 {
                     continue;
@@ -176,7 +183,7 @@ impl Matrix {
                     *o += a_ip * b;
                 }
             }
-        }
+        });
         out
     }
 
@@ -190,19 +197,22 @@ impl Matrix {
         );
         let (k, n, m) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(n, m);
-        for p in 0..k {
-            let a_row = &self.data[p * n..(p + 1) * n];
-            let b_row = &other.data[p * m..(p + 1) * m];
-            for (i, &a) in a_row.iter().enumerate() {
+        // Per-output-row loop (rather than the k-outer order a transposed
+        // product suggests) so rows can split across threads; each (i, j)
+        // still accumulates over p in ascending order, keeping results
+        // bit-identical to the historical serial kernel.
+        parallel::parallel_for_rows(&mut out.data, m, 2 * k * m, |i, out_row| {
+            for p in 0..k {
+                let a = self.data[p * n + i];
                 if a == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.data[i * m..(i + 1) * m];
+                let b_row = &other.data[p * m..(p + 1) * m];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
             }
-        }
+        });
         out
     }
 
@@ -215,17 +225,17 @@ impl Matrix {
         );
         let (n, k, m) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(n, m);
-        for i in 0..n {
+        parallel::parallel_for_rows(&mut out.data, m, 2 * k * m, |i, out_row| {
             let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..m {
+            for (j, o) in out_row.iter_mut().enumerate() {
                 let b_row = &other.data[j * k..(j + 1) * k];
                 let mut acc = 0.0;
                 for (&a, &b) in a_row.iter().zip(b_row) {
                     acc += a * b;
                 }
-                out.data[i * m + j] = acc;
+                *o = acc;
             }
-        }
+        });
         out
     }
 
@@ -294,12 +304,12 @@ impl Matrix {
         assert_eq!(row.rows, 1, "Matrix::add_row_broadcast: rhs must be a row vector");
         assert_eq!(row.cols, self.cols, "Matrix::add_row_broadcast shape mismatch");
         let mut out = self.clone();
-        for i in 0..out.rows {
-            let r = &mut out.data[i * out.cols..(i + 1) * out.cols];
+        let cols = self.cols;
+        parallel::parallel_for_rows(&mut out.data, cols, cols, |_i, r| {
             for (o, &b) in r.iter_mut().zip(&row.data) {
                 *o += b;
             }
-        }
+        });
         out
     }
 
@@ -308,12 +318,13 @@ impl Matrix {
         assert_eq!(col.cols, 1, "Matrix::mul_col_broadcast: rhs must be a column vector");
         assert_eq!(col.rows, self.rows, "Matrix::mul_col_broadcast shape mismatch");
         let mut out = self.clone();
-        for i in 0..out.rows {
+        let cols = self.cols;
+        parallel::parallel_for_rows(&mut out.data, cols, cols, |i, r| {
             let s = col.data[i];
-            for v in &mut out.data[i * out.cols..(i + 1) * out.cols] {
+            for v in r {
                 *v *= s;
             }
-        }
+        });
         out
     }
 
@@ -361,8 +372,9 @@ impl Matrix {
     /// Uses the max-subtraction trick for numerical stability.
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
-        for i in 0..out.rows {
-            let row = &mut out.data[i * out.cols..(i + 1) * out.cols];
+        let cols = self.cols;
+        // ~4 flops per element plus an exp; 16 is a conservative estimate.
+        parallel::parallel_for_rows(&mut out.data, cols, 16 * cols, |_i, row| {
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0;
             for v in row.iter_mut() {
@@ -373,14 +385,23 @@ impl Matrix {
             for v in row.iter_mut() {
                 *v *= inv;
             }
-        }
+        });
         out
     }
 
-    /// Elementwise map.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        let data = self.data.iter().map(|&v| f(v)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+    /// Elementwise map. `f` must be `Sync`: rows of large matrices are
+    /// mapped on scoped worker threads (`relu`/`tanh` over big batches).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        let cols = self.cols;
+        // Assume a transcendental-ish op per element.
+        parallel::parallel_for_rows(&mut out.data, cols, 8 * cols, |i, row| {
+            let src = &self.data[i * cols..(i + 1) * cols];
+            for (o, &v) in row.iter_mut().zip(src) {
+                *o = f(v);
+            }
+        });
+        out
     }
 
     /// Horizontal concatenation of matrices with equal row counts.
@@ -426,6 +447,15 @@ impl Matrix {
         out
     }
 
+    /// Copies a contiguous row block `[start, start + count)`; cheap
+    /// (one `memcpy`) because storage is row-major. Chunked batch inference
+    /// uses this to hand each worker its block of encoded pairs.
+    pub fn slice_rows(&self, start: usize, count: usize) -> Matrix {
+        assert!(start + count <= self.rows, "Matrix::slice_rows out of bounds");
+        let data = self.data[start * self.cols..(start + count) * self.cols].to_vec();
+        Matrix { rows: count, cols: self.cols, data }
+    }
+
     /// Copies a subset of rows (in the given order).
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
@@ -443,12 +473,7 @@ impl Matrix {
     /// Euclidean distance between two equally shaped matrices.
     pub fn distance(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape(), "Matrix::distance shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f32>()
-            .sqrt()
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt()
     }
 
     /// True if all elements are finite (no NaN / infinity).
@@ -476,11 +501,8 @@ mod tests {
     #[test]
     fn matmul_identity() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
-        let id = Matrix::from_rows(&[
-            vec![1.0, 0.0, 0.0],
-            vec![0.0, 1.0, 0.0],
-            vec![0.0, 0.0, 1.0],
-        ]);
+        let id =
+            Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]]);
         assert_eq!(a.matmul(&id), a);
     }
 

@@ -77,16 +77,24 @@ impl HashedFastText {
     /// boundary-marked character n-gram vectors plus the whole-word vector.
     pub fn embed_token(&self, token: &str) -> Vec<f32> {
         let mut acc = vec![0.0f32; self.dim];
+        self.embed_token_into(token, &mut acc);
+        acc
+    }
+
+    /// [`embed_token`](Self::embed_token) writing into a caller-provided
+    /// `dim`-length buffer (overwritten, not accumulated).
+    pub fn embed_token_into(&self, token: &str, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "embed_token_into: buffer length mismatch");
+        out.fill(0.0);
         if token.is_empty() {
-            return self.missing_vector().into_vec();
+            self.missing_into(out);
+            return;
         }
         // Whole word with boundary markers, like FastText's `<word>` entry.
-        let marked: Vec<char> = std::iter::once('<')
-            .chain(token.chars())
-            .chain(std::iter::once('>'))
-            .collect();
+        let marked: Vec<char> =
+            std::iter::once('<').chain(token.chars()).chain(std::iter::once('>')).collect();
         let whole: String = marked.iter().collect();
-        self.hashed_vector(&whole, &mut acc);
+        self.hashed_vector(&whole, out);
         let mut buf = String::new();
         for n in self.min_ngram..=self.max_ngram {
             if marked.len() < n {
@@ -95,36 +103,54 @@ impl HashedFastText {
             for start in 0..=(marked.len() - n) {
                 buf.clear();
                 buf.extend(&marked[start..start + n]);
-                self.hashed_vector(&buf, &mut acc);
+                self.hashed_vector(&buf, out);
             }
         }
-        l2_normalize(&mut acc);
-        acc
+        l2_normalize(out);
     }
 
     /// Sums token embeddings into one `1 x dim` row (the paper's per-feature
     /// summarization). Empty input produces the fixed missing-value vector.
     pub fn embed_tokens(&self, tokens: &[String]) -> Matrix {
+        let mut out = Matrix::zeros(1, self.dim);
+        self.embed_tokens_into(tokens, out.as_mut_slice());
+        out
+    }
+
+    /// [`embed_tokens`](Self::embed_tokens) writing into a caller-provided
+    /// `dim`-length buffer. Batch encoding uses this to fill feature blocks
+    /// of a preallocated row without a `Matrix` allocation per feature; one
+    /// scratch buffer is reused across the token loop.
+    pub fn embed_tokens_into(&self, tokens: &[String], out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "embed_tokens_into: buffer length mismatch");
         if tokens.is_empty() {
-            return self.missing_vector();
+            out.fill(0.0);
+            self.missing_into(out);
+            return;
         }
-        let mut acc = vec![0.0f32; self.dim];
+        out.fill(0.0);
+        let mut scratch = vec![0.0f32; self.dim];
         for t in tokens {
-            for (a, b) in acc.iter_mut().zip(self.embed_token(t)) {
+            self.embed_token_into(t, &mut scratch);
+            for (a, &b) in out.iter_mut().zip(&scratch) {
                 *a += b;
             }
         }
-        Matrix::from_vec(1, self.dim, acc)
     }
 
     /// The fixed normalized non-zero vector used to initialize missing
     /// attribute values (paper §4.3: "initializes the missing attribute
     /// values ... with a fixed normalized non-zero vector").
     pub fn missing_vector(&self) -> Matrix {
-        let mut acc = vec![0.0f32; self.dim];
-        self.hashed_vector("\u{0}__MISSING__\u{0}", &mut acc);
-        l2_normalize(&mut acc);
-        Matrix::from_vec(1, self.dim, acc)
+        let mut out = Matrix::zeros(1, self.dim);
+        self.missing_into(out.as_mut_slice());
+        out
+    }
+
+    /// Adds the missing-value vector into a zeroed buffer.
+    fn missing_into(&self, out: &mut [f32]) {
+        self.hashed_vector("\u{0}__MISSING__\u{0}", out);
+        l2_normalize(out);
     }
 
     /// Cosine similarity between the bag embeddings of two token lists;
@@ -200,10 +226,7 @@ mod tests {
         let f = ft();
         let sim_close = cosine_slices(&f.embed_token("beatles"), &f.embed_token("beatle"));
         let sim_far = cosine_slices(&f.embed_token("beatles"), &f.embed_token("xylophone"));
-        assert!(
-            sim_close > sim_far + 0.2,
-            "close {sim_close} should exceed far {sim_far}"
-        );
+        assert!(sim_close > sim_far + 0.2, "close {sim_close} should exceed far {sim_far}");
         assert!(sim_close > 0.5);
     }
 

@@ -85,11 +85,7 @@ pub fn monge_elkan(a: &[String], b: &[String]) -> f32 {
         }
         let total: f32 = a
             .iter()
-            .map(|ta| {
-                b.iter()
-                    .map(|tb| levenshtein_similarity(ta, tb))
-                    .fold(0.0f32, f32::max)
-            })
+            .map(|ta| b.iter().map(|tb| levenshtein_similarity(ta, tb)).fold(0.0f32, f32::max))
             .sum();
         total / a.len() as f32
     }

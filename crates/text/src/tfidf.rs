@@ -72,12 +72,7 @@ impl TfIdf {
         for &i in idx.iter().take(k) {
             keep[i] = true;
         }
-        tokens
-            .iter()
-            .zip(keep)
-            .filter(|(_, k)| *k)
-            .map(|(t, _)| t.clone())
-            .collect()
+        tokens.iter().zip(keep).filter(|(_, k)| *k).map(|(t, _)| t.clone()).collect()
     }
 }
 

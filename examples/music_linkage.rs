@@ -10,7 +10,9 @@
 //! ```
 
 use adamel::{evaluate_prauc, fit, AdamelConfig, AdamelModel, Variant};
-use adamel_baselines::{evaluate_prauc as baseline_prauc, BaselineConfig, CorDel, EntityMatcherModel};
+use adamel_baselines::{
+    evaluate_prauc as baseline_prauc, BaselineConfig, CorDel, EntityMatcherModel,
+};
 use adamel_data::{make_mel_split, EntityType, MusicConfig, MusicWorld, Scenario, SplitCounts};
 
 fn main() {
@@ -35,16 +37,11 @@ fn main() {
             // Supervised word-level baseline: trains on seen sources only.
             let mut cordel = CorDel::new(world.schema().clone(), BaselineConfig::default());
             cordel.fit(&split.train);
-            println!(
-                "  {:<14} PRAUC {:.4}",
-                cordel.name(),
-                baseline_prauc(&cordel, &split.test)
-            );
+            println!("  {:<14} PRAUC {:.4}", cordel.name(), baseline_prauc(&cordel, &split.test));
 
             // All four AdaMEL variants.
             for variant in Variant::ALL {
-                let mut model =
-                    AdamelModel::new(AdamelConfig::default(), world.schema().clone());
+                let mut model = AdamelModel::new(AdamelConfig::default(), world.schema().clone());
                 fit(
                     &mut model,
                     variant,

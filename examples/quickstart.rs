@@ -38,7 +38,8 @@ fn main() {
     // 3. Train AdaMEL-hyb: supervised on the train pairs, KL-adapted to the
     //    unlabeled target domain, support-set weighted (Eq. 14).
     let mut model = AdamelModel::new(AdamelConfig::default(), world.schema().clone());
-    let report = fit(&mut model, Variant::Hyb, &split.train, Some(&split.test), Some(&split.support));
+    let report =
+        fit(&mut model, Variant::Hyb, &split.train, Some(&split.test), Some(&split.support));
     println!(
         "trained {} epochs, final loss {:.4}, {} parameters",
         report.epochs,

@@ -5,7 +5,9 @@
 //! cargo run --release -p adamel --example save_and_link
 //! ```
 
-use adamel::{fit, load_model, save_model, AdamelConfig, AdamelModel, Linker, LinkerConfig, Variant};
+use adamel::{
+    fit, load_model, save_model, AdamelConfig, AdamelModel, Linker, LinkerConfig, Variant,
+};
 use adamel_data::{make_mel_split, EntityType, MusicConfig, MusicWorld, Scenario, SplitCounts};
 use std::io::BufReader;
 
@@ -42,10 +44,8 @@ fn main() {
     let matches = linker.link(&left, &right);
 
     // Grade against ground truth (generator entity ids).
-    let correct = matches
-        .iter()
-        .filter(|m| left[m.left].entity_id == right[m.right].entity_id)
-        .count();
+    let correct =
+        matches.iter().filter(|m| left[m.left].entity_id == right[m.right].entity_id).count();
     println!(
         "linked {} of {} website-4 albums against website-6 ({} correct)",
         matches.len(),

@@ -1,10 +1,12 @@
 //! Integration tests over the full baseline roster.
 
 use adamel_baselines::{
-    evaluate_prauc, BaselineConfig, CorDel, DeepMatcher, Ditto, EntityMatcher,
-    EntityMatcherModel, Tler,
+    evaluate_prauc, BaselineConfig, CorDel, DeepMatcher, Ditto, EntityMatcher, EntityMatcherModel,
+    Tler,
 };
-use adamel_data::{make_mel_split, EntityType, MelSplit, MusicConfig, MusicWorld, Scenario, SplitCounts};
+use adamel_data::{
+    make_mel_split, EntityType, MelSplit, MusicConfig, MusicWorld, Scenario, SplitCounts,
+};
 use adamel_schema::Schema;
 
 fn fixture() -> (Schema, MelSplit) {
@@ -39,11 +41,7 @@ fn every_baseline_trains_and_beats_chance() {
     for mut model in roster(&schema) {
         model.fit(&split.train);
         let prauc = evaluate_prauc(model.as_ref(), &split.test);
-        assert!(
-            prauc > 0.5,
-            "{} PRAUC {prauc} at or below chance on an easy split",
-            model.name()
-        );
+        assert!(prauc > 0.5, "{} PRAUC {prauc} at or below chance on an easy split", model.name());
         for s in model.predict(&split.test.pairs) {
             assert!(s.is_finite() && (0.0..=1.0).contains(&s), "{} bad score", model.name());
         }
@@ -85,7 +83,8 @@ fn baselines_are_deterministic_given_seed() {
 fn baselines_handle_pairs_with_only_missing_values() {
     use adamel_schema::{EntityPair, Record, SourceId};
     let (schema, split) = fixture();
-    let empty_pair = EntityPair::unlabeled(Record::new(SourceId(0), 1), Record::new(SourceId(1), 2));
+    let empty_pair =
+        EntityPair::unlabeled(Record::new(SourceId(0), 1), Record::new(SourceId(1), 2));
     for mut model in roster(&schema) {
         model.fit(&split.train);
         let scores = model.predict(std::slice::from_ref(&empty_pair));

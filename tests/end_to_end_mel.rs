@@ -20,7 +20,12 @@ fn fixture() -> (Schema, adamel_data::MelSplit) {
     (world.schema().clone(), split)
 }
 
-fn train(variant: Variant, schema: &Schema, split: &adamel_data::MelSplit, seed: u64) -> AdamelModel {
+fn train(
+    variant: Variant,
+    schema: &Schema,
+    split: &adamel_data::MelSplit,
+    seed: u64,
+) -> AdamelModel {
     let cfg = AdamelConfig::tiny().with_seed(seed);
     let mut model = AdamelModel::new(cfg, schema.clone());
     fit(
@@ -80,8 +85,15 @@ fn disjoint_scenario_is_not_easier_for_base() {
     let records = world.records_of(EntityType::Artist, None);
     let schema = world.schema().clone();
     let eval_scenario = |scenario: Scenario| -> f64 {
-        let split =
-            make_mel_split(&records, "name", &[0, 1, 2], &[3, 4, 5, 6], scenario, &SplitCounts::tiny(), 1);
+        let split = make_mel_split(
+            &records,
+            "name",
+            &[0, 1, 2],
+            &[3, 4, 5, 6],
+            scenario,
+            &SplitCounts::tiny(),
+            1,
+        );
         evaluate_prauc(&train(Variant::Base, &schema, &split, 1), &split.test)
     };
     let s1 = eval_scenario(Scenario::Overlapping);

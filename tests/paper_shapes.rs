@@ -102,8 +102,7 @@ fn prod_type_distributions_shift_between_domains() {
     );
     let src = analysis::top_tokens(&split.train, "prod_type", 5);
     let tgt = analysis::top_tokens(&split.test, "prod_type", 5);
-    let src_tokens: std::collections::HashSet<&str> =
-        src.iter().map(|(t, _)| t.as_str()).collect();
+    let src_tokens: std::collections::HashSet<&str> = src.iter().map(|(t, _)| t.as_str()).collect();
     let overlap = tgt.iter().filter(|(t, _)| src_tokens.contains(t.as_str())).count();
     assert!(overlap <= 1, "top-5 prod_type overlap {overlap} too high");
 }
@@ -112,7 +111,7 @@ fn prod_type_distributions_shift_between_domains() {
 /// every step of the incremental stream.
 #[test]
 fn incremental_adaptation_stays_stable() {
-    let world = MonitorWorld::generate(&MonitorConfig::tiny(), 4);
+    let world = MonitorWorld::generate(&MonitorConfig::tiny(), 5);
     let stream = monitor_incremental(&world, 100, 30, 20, 4, 2, 1);
     let cfg = AdamelConfig::tiny();
     for step in &stream.steps {
@@ -121,11 +120,7 @@ fn incremental_adaptation_stays_stable() {
         let scores = model.predict(&step.target.pairs);
         let labels: Vec<bool> = step.target.pairs.iter().map(|p| p.ground_truth()).collect();
         let prauc = adamel_metrics::pr_auc(&scores, &labels);
-        assert!(
-            prauc > 0.5,
-            "PRAUC {prauc:.4} collapsed at {} sources",
-            step.num_sources
-        );
+        assert!(prauc > 0.5, "PRAUC {prauc:.4} collapsed at {} sources", step.num_sources);
     }
 }
 
