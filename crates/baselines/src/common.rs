@@ -91,7 +91,7 @@ impl MlpHead {
     /// Builds a head with the given layer widths, e.g. `[input, 300, 1]`.
     pub fn new(widths: &[usize], cfg: BaselineConfig) -> Self {
         assert!(widths.len() >= 2, "MlpHead needs at least input and output widths");
-        assert_eq!(*widths.last().unwrap(), 1, "MlpHead output width must be 1 (a logit)");
+        assert_eq!(widths.last().copied(), Some(1), "MlpHead output width must be 1 (a logit)");
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xb45e);
         let mut params = ParamSet::new();
         let mut layers = Vec::new();

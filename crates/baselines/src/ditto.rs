@@ -217,8 +217,8 @@ mod tests {
             let aug = d.span_delete(&pair, &mut rng);
             let la = aug.left.get("title").unwrap_or("").len();
             let ra = aug.right.get("title").unwrap_or("").len();
-            if la < pair.left.get("title").unwrap().len()
-                || ra < pair.right.get("title").unwrap().len()
+            if la < pair.left.get("title").expect("fixture pairs set a title").len()
+                || ra < pair.right.get("title").expect("fixture pairs set a title").len()
             {
                 shrunk += 1;
             }

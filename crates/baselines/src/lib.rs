@@ -13,6 +13,7 @@
 //! the [`common`] module docs and DESIGN.md §2 for the fidelity argument of
 //! this port.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod common;

@@ -12,7 +12,7 @@
 use adamel::config::AdamelConfig;
 use adamel::model::AdamelModel;
 use adamel_schema::{EntityPair, Record, Schema, SourceId};
-use adamel_tensor::{parallel, Matrix};
+use adamel_tensor::{parallel, sanitize, Matrix};
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
@@ -123,10 +123,37 @@ fn main() {
         rows.push(Row { kernel: "predict", n: NUM_PAIRS, threads: t, ms });
     }
 
+    // --- sanitizer overhead pair: the same single-thread prediction with
+    // the numerics sanitizer forced off vs on. Off must be indistinguishable
+    // from the plain predict row (one predictable branch per tape op); on
+    // pays one extra pass over each op's output. ---
+    sanitize::set_forced(Some(false));
+    let sanitize_off_ms = time_ms(3, || {
+        parallel::with_threads(1, || std::hint::black_box(model.predict_encoded(&encoded)));
+    });
+    rows.push(Row {
+        kernel: "predict_sanitize_off",
+        n: NUM_PAIRS,
+        threads: 1,
+        ms: sanitize_off_ms,
+    });
+    sanitize::set_forced(Some(true));
+    let sanitize_on_ms = time_ms(3, || {
+        parallel::with_threads(1, || std::hint::black_box(model.predict_encoded(&encoded)));
+    });
+    rows.push(Row { kernel: "predict_sanitize_on", n: NUM_PAIRS, threads: 1, ms: sanitize_on_ms });
+    sanitize::set_forced(None);
+
     // --- emit JSON (hand-written: no serialization dependency) ---
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"host_parallelism\": {},\n", parallel::host_parallelism()));
+    out.push_str(&format!(
+        "  \"sanitize\": {{\"off_ms\": {:.3}, \"on_ms\": {:.3}, \"on_over_off\": {:.3}}},\n",
+        sanitize_off_ms,
+        sanitize_on_ms,
+        if sanitize_off_ms > 0.0 { sanitize_on_ms / sanitize_off_ms } else { 1.0 }
+    ));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let base = rows

@@ -6,6 +6,8 @@
 //! regenerates every artifact; the criterion benches cover the performance
 //! claims.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod methods;
 pub mod table;

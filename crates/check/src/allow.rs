@@ -1,0 +1,142 @@
+//! Allowlist for deliberate lint violations.
+//!
+//! Format (`lint.allow` at the workspace root): one entry per line,
+//! four `|`-separated fields — lint id, workspace-relative path, a snippet
+//! the offending source line must contain, and a non-empty reason:
+//!
+//! ```text
+//! # comment
+//! no-float-eq | crates/tensor/src/matrix.rs | a_ip == 0.0 | bit-exact sparsity skip
+//! ```
+//!
+//! Snippet matching (rather than line numbers) keeps entries stable under
+//! unrelated edits; the reason is mandatory so every suppression documents
+//! *why* the rule does not apply. Entries that match nothing are reported so
+//! the file cannot rot.
+
+use crate::lints::Finding;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Lint id this entry suppresses.
+    pub lint: String,
+    /// Workspace-relative path the finding must be in.
+    pub path: String,
+    /// Substring the finding's source line must contain.
+    pub snippet: String,
+    /// Why this violation is deliberate (mandatory).
+    pub reason: String,
+    /// Source line in the allowlist file (for diagnostics).
+    pub line: usize,
+}
+
+impl AllowEntry {
+    /// True when this entry suppresses `f`.
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.lint == f.lint && self.path == f.path && f.snippet.contains(&self.snippet)
+    }
+}
+
+/// Parses allowlist text. Returns `Err` with a description for malformed
+/// lines (wrong field count, empty field, missing reason).
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split('|').map(str::trim).collect();
+        if fields.len() != 4 {
+            return Err(format!(
+                "lint.allow:{line}: expected 4 `|`-separated fields \
+                 (lint | path | snippet | reason), got {}",
+                fields.len()
+            ));
+        }
+        if fields.iter().any(|f| f.is_empty()) {
+            return Err(format!(
+                "lint.allow:{line}: empty field; every entry needs lint, path, snippet, and a \
+                 reason"
+            ));
+        }
+        entries.push(AllowEntry {
+            lint: fields[0].to_string(),
+            path: fields[1].to_string(),
+            snippet: fields[2].to_string(),
+            reason: fields[3].to_string(),
+            line,
+        });
+    }
+    Ok(entries)
+}
+
+/// Splits findings into (kept, suppressed) and returns the entries that
+/// matched nothing (stale — reported so the allowlist cannot rot).
+pub fn apply(
+    findings: Vec<Finding>,
+    entries: &[AllowEntry],
+) -> (Vec<Finding>, Vec<Finding>, Vec<AllowEntry>) {
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    let mut used = vec![false; entries.len()];
+    for f in findings {
+        match entries.iter().position(|e| e.matches(&f)) {
+            Some(i) => {
+                used[i] = true;
+                suppressed.push(f);
+            }
+            None => kept.push(f),
+        }
+    }
+    let unused = entries.iter().zip(&used).filter(|(_, &u)| !u).map(|(e, _)| e.clone()).collect();
+    (kept, suppressed, unused)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::lint_file;
+
+    const ENTRY: &str =
+        "# a comment\n\nno-panic | crates/core/src/foo.rs | x.unwrap() | documented invariant\n";
+
+    fn findings() -> Vec<Finding> {
+        lint_file("crates/core/src/foo.rs", "fn f(x: Option<u8>) -> u8 { x.unwrap() }")
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let entries = parse(ENTRY).expect("entry parses");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].lint, "no-panic");
+        assert_eq!(entries[0].reason, "documented invariant");
+    }
+
+    #[test]
+    fn parse_rejects_missing_reason() {
+        assert!(parse("no-panic | a.rs | x.unwrap()\n").is_err());
+        assert!(parse("no-panic | a.rs | x.unwrap() | \n").is_err());
+    }
+
+    #[test]
+    fn matching_entry_suppresses_finding() {
+        let entries = parse(ENTRY).expect("entry parses");
+        let (kept, suppressed, unused) = apply(findings(), &entries);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed.len(), 1);
+        assert!(unused.is_empty());
+    }
+
+    #[test]
+    fn wrong_path_or_lint_does_not_suppress() {
+        let entries = parse("no-panic | crates/core/src/other.rs | x.unwrap() | wrong file\n")
+            .expect("entry parses");
+        let (kept, suppressed, unused) = apply(findings(), &entries);
+        assert_eq!(kept.len(), 1);
+        assert!(suppressed.is_empty());
+        assert_eq!(unused.len(), 1, "stale entry must be reported");
+    }
+}

@@ -1,0 +1,416 @@
+//! A lightweight Rust lexer — just enough to drive the project lints.
+//!
+//! The workspace builds offline, so pulling a real parser (`syn`,
+//! `proc-macro2`) is not an option; this mirrors the `compat/` approach of
+//! implementing exactly the surface the repo needs. The lexer produces a
+//! flat token stream with line numbers and *discards* comments, string
+//! contents, and char literals, which is what makes the lints immune to
+//! `// x.unwrap()` in a comment or `"panic!"` in a message string. It is
+//! not a parser: the lints work on token patterns plus brace matching.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `HashMap`, ...).
+    Ident,
+    /// Integer literal (`42`, `0xff`, `1_000`).
+    Int,
+    /// Float literal (`0.0`, `1e-7`, `2.5f32`).
+    Float,
+    /// String literal of any flavor (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation / operator, with maximal munch for the multi-char
+    /// operators the lints care about (`::`, `==`, `!=`, ...).
+    Punct,
+}
+
+/// One lexeme with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// The lexeme text. Empty for `Str`/`Char` (contents are irrelevant to
+    /// the lints and dropping them avoids false positives).
+    pub text: String,
+    /// 1-based line where the lexeme starts.
+    pub line: usize,
+}
+
+impl Token {
+    fn new(kind: TokKind, text: impl Into<String>, line: usize) -> Self {
+        Self { kind, text: text.into(), line }
+    }
+
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Multi-char operators, longest first so maximal munch works by prefix
+/// testing. Only operators that change lint behavior need to merge; merging
+/// the rest anyway keeps the stream close to rustc's.
+const OPS: &[&str] = &[
+    "..=", "<<=", ">>=", "::", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "..", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+}
+
+/// Tokenizes Rust source. Unterminated constructs (string, comment) consume
+/// to end of input rather than erroring: the lints prefer a best-effort
+/// stream over rejecting a file rustc itself would reject anyway.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor { chars: src.chars().collect(), i: 0, line: 1 };
+    let mut out = Vec::new();
+
+    while let Some(c) = cur.peek(0) {
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            while let Some(c) = cur.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            let line = cur.line;
+            cur.bump();
+            scan_string_body(&mut cur);
+            out.push(Token::new(TokKind::Str, "", line));
+            continue;
+        }
+        // Lifetimes and char literals.
+        if c == '\'' {
+            let line = cur.line;
+            // 'a, 'static (lifetime) vs 'a' / '\n' (char literal): a
+            // lifetime is a quote + identifier *not* followed by a closing
+            // quote.
+            let one = cur.peek(1);
+            let two = cur.peek(2);
+            let is_lifetime =
+                one.is_some_and(is_ident_start) && two != Some('\'') || one == Some('_');
+            if is_lifetime {
+                cur.bump();
+                let mut text = String::from("'");
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    text.push(cur.bump().unwrap_or('_'));
+                }
+                out.push(Token::new(TokKind::Lifetime, text, line));
+            } else {
+                cur.bump();
+                while let Some(c) = cur.peek(0) {
+                    if c == '\\' {
+                        cur.bump();
+                        cur.bump();
+                        continue;
+                    }
+                    cur.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                out.push(Token::new(TokKind::Char, "", line));
+            }
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let line = cur.line;
+            let (text, kind) = scan_number(&mut cur);
+            out.push(Token::new(kind, text, line));
+            continue;
+        }
+        // Identifiers — including the raw-string / byte-string prefixes.
+        if is_ident_start(c) {
+            let line = cur.line;
+            let mut text = String::new();
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                text.push(cur.bump().unwrap_or('_'));
+            }
+            // r"..." / r#"..."# / b"..." / br#"..."# are strings, not idents.
+            if matches!(text.as_str(), "r" | "b" | "br" | "rb") && scan_raw_string(&mut cur) {
+                out.push(Token::new(TokKind::Str, "", line));
+            } else {
+                out.push(Token::new(TokKind::Ident, text, line));
+            }
+            continue;
+        }
+        // Punctuation with maximal munch.
+        let line = cur.line;
+        let mut matched = None;
+        for op in OPS {
+            if op.chars().enumerate().all(|(k, oc)| cur.peek(k) == Some(oc)) {
+                matched = Some(*op);
+                break;
+            }
+        }
+        if let Some(op) = matched {
+            for _ in 0..op.len() {
+                cur.bump();
+            }
+            out.push(Token::new(TokKind::Punct, op, line));
+        } else {
+            cur.bump();
+            out.push(Token::new(TokKind::Punct, c.to_string(), line));
+        }
+    }
+    out
+}
+
+/// Consumes a `"..."` body (opening quote already consumed).
+fn scan_string_body(cur: &mut Cursor) {
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        cur.bump();
+        if c == '"' {
+            break;
+        }
+    }
+}
+
+/// After a `r`/`b`/`br`/`rb` identifier, consumes a raw/byte string if one
+/// follows. Returns false (consuming nothing) for plain identifiers and raw
+/// identifiers like `r#match`.
+fn scan_raw_string(cur: &mut Cursor) -> bool {
+    match cur.peek(0) {
+        Some('"') => {
+            cur.bump();
+            scan_string_body(cur);
+            true
+        }
+        Some('#') => {
+            let mut hashes = 0usize;
+            while cur.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if cur.peek(hashes) != Some('"') {
+                return false; // raw identifier like r#match
+            }
+            for _ in 0..=hashes {
+                cur.bump();
+            }
+            // Scan until `"` followed by `hashes` hashes.
+            while cur.peek(0).is_some() {
+                if cur.peek(0) == Some('"') && (0..hashes).all(|k| cur.peek(1 + k) == Some('#')) {
+                    for _ in 0..=hashes {
+                        cur.bump();
+                    }
+                    return true;
+                }
+                cur.bump();
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Scans a numeric literal, deciding int vs float. Handles `0x`/`0b`/`0o`
+/// prefixes, `_` separators, `1.5`, `1.` (but not `1..5` or `1.max(2)`),
+/// exponents, and `f32`/`f64` suffixes.
+fn scan_number(cur: &mut Cursor) -> (String, TokKind) {
+    let mut text = String::new();
+    let mut float = false;
+
+    let radix_prefix = cur.peek(0) == Some('0')
+        && matches!(cur.peek(1), Some('x') | Some('X') | Some('b') | Some('B') | Some('o'));
+    if radix_prefix {
+        text.push(cur.bump().unwrap_or('0'));
+        text.push(cur.bump().unwrap_or('x'));
+        while cur.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+            text.push(cur.bump().unwrap_or('0'));
+        }
+        return (text, TokKind::Int);
+    }
+
+    while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+        text.push(cur.bump().unwrap_or('0'));
+    }
+    // A `.` continues the literal only when not `..` (range) and not
+    // `1.method()` (identifier follows).
+    if cur.peek(0) == Some('.')
+        && cur.peek(1) != Some('.')
+        && !cur.peek(1).is_some_and(is_ident_start)
+    {
+        float = true;
+        text.push(cur.bump().unwrap_or('.'));
+        while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            text.push(cur.bump().unwrap_or('0'));
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(0), Some('e') | Some('E')) {
+        let sign = matches!(cur.peek(1), Some('+') | Some('-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if cur.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            text.push(cur.bump().unwrap_or('e'));
+            if sign {
+                text.push(cur.bump().unwrap_or('+'));
+            }
+            while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                text.push(cur.bump().unwrap_or('0'));
+            }
+        }
+    }
+    // Type suffix (f32 / f64 / u8 / usize / ...).
+    if cur.peek(0).is_some_and(is_ident_start) {
+        let mut suffix = String::new();
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            suffix.push(cur.bump().unwrap_or('_'));
+        }
+        if suffix.starts_with('f') {
+            float = true;
+        }
+        text.push_str(&suffix);
+    }
+    (text, if float { TokKind::Float } else { TokKind::Int })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = kinds("// x.unwrap()\n/* panic! /* nested */ */ let s = \"y.unwrap()\";");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "s".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Str, "".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r##"let a = r#"x.unwrap()"#; let r#match = 1;"##);
+        assert_eq!(toks[3].0, TokKind::Str);
+        // r#match lexes as ident `r` + `#` + ident `match` is avoided: the
+        // raw-ident path keeps `r` as a plain ident and `#match` follows.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "match"));
+        assert!(!toks.iter().any(|(k, _)| *k == TokKind::Char));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        assert_eq!(kinds("0.0")[0].0, TokKind::Float);
+        assert_eq!(kinds("1e-7")[0].0, TokKind::Float);
+        assert_eq!(kinds("2f32")[0].0, TokKind::Float);
+        assert_eq!(kinds("42")[0].0, TokKind::Int);
+        assert_eq!(kinds("0xff")[0].0, TokKind::Int);
+        let range = kinds("0..5");
+        assert_eq!(range[0].0, TokKind::Int);
+        assert_eq!(range[1], (TokKind::Punct, "..".into()));
+        assert_eq!(range[2].0, TokKind::Int);
+        let method = kinds("1.max(2)");
+        assert_eq!(method[0].0, TokKind::Int);
+        assert_eq!(method[1], (TokKind::Punct, ".".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn multi_char_operators_merge() {
+        let toks = kinds("a == b != c :: d");
+        let puncts: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Punct).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(puncts, vec!["==", "!=", "::"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+}

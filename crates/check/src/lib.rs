@@ -1,0 +1,21 @@
+//! # adamel-check
+//!
+//! Workspace static analysis for the AdaMEL reproduction: a lightweight
+//! Rust lexer ([`lexer`]), five project lints ([`lints`]) guarding the
+//! numeric invariants the model depends on (panic-free library code, the
+//! PR 1 threading determinism boundary, no float `==`, no order-sensitive
+//! `HashMap` iteration, no clocks/entropy in compute paths), and an
+//! allowlist ([`allow`]) so deliberate violations are documented instead of
+//! silenced.
+//!
+//! The `adamel-check` binary walks `crates/**/*.rs`, applies the lints, and
+//! exits nonzero on any finding not covered by `lint.allow` — CI runs it
+//! next to `cargo clippy`. See DESIGN.md §9 for the lint catalog and the
+//! rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod lexer;
+pub mod lints;

@@ -1,0 +1,476 @@
+//! The project lints.
+//!
+//! Each lint operates on the token stream from [`crate::lexer`] plus the
+//! file's workspace-relative path, which determines scope:
+//!
+//! | id                    | rule | scope |
+//! |-----------------------|------|-------|
+//! | `no-panic`            | no `.unwrap()` / `.expect(..)` / `panic!` | library sources (`crates/*/src`, excluding `src/bin`), outside `#[cfg(test)]` |
+//! | `no-thread-spawn`     | no `thread::{spawn,scope,Builder}` | everywhere except `crates/tensor/src/parallel.rs` (the PR 1 determinism boundary) |
+//! | `no-float-eq`         | no `==` / `!=` against a float literal | library sources, outside `#[cfg(test)]` |
+//! | `hashmap-order`       | no iteration over `HashMap`-typed bindings | library sources, outside `#[cfg(test)]` |
+//! | `no-clock-in-compute` | no `Instant::now` / `SystemTime` / `thread_rng` / `from_entropy` | deterministic compute paths: `crates/tensor/src`, `crates/core/src/model.rs` |
+//!
+//! Deliberate violations are suppressed through the allowlist
+//! ([`crate::allow`]), never by editing the lint.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Lint id (`no-panic`, ...).
+    pub lint: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The full source line, used for allowlist snippet matching.
+    pub snippet: String,
+}
+
+/// Where a file sits in the workspace, deciding which lints apply.
+struct Scope {
+    /// `crates/<name>/src/**` excluding `src/bin/**`: library code.
+    library: bool,
+    /// `crates/tensor/src/**` or `crates/core/src/model.rs`: code whose
+    /// outputs must be a pure function of inputs + seed.
+    deterministic_compute: bool,
+    /// The one file allowed to touch `std::thread`.
+    parallel_runtime: bool,
+}
+
+impl Scope {
+    fn of(path: &str) -> Self {
+        let p = path.replace('\\', "/");
+        let library = p.starts_with("crates/")
+            && p.contains("/src/")
+            && !p.contains("/src/bin/")
+            && p.ends_with(".rs");
+        let deterministic_compute =
+            p.starts_with("crates/tensor/src/") || p == "crates/core/src/model.rs";
+        let parallel_runtime = p == "crates/tensor/src/parallel.rs";
+        Self { library, deterministic_compute, parallel_runtime }
+    }
+}
+
+/// Runs every applicable lint over one file. `path` must be
+/// workspace-relative with forward slashes (e.g. `crates/core/src/model.rs`).
+pub fn lint_file(path: &str, src: &str) -> Vec<Finding> {
+    let toks = lex(src);
+    let scope = Scope::of(path);
+    let test_mask = test_token_mask(&toks);
+    let lines: Vec<&str> = src.lines().collect();
+    let mut findings = Vec::new();
+
+    let mut push = |lint: &'static str, line: usize, message: String| {
+        let snippet = lines.get(line.saturating_sub(1)).map_or("", |l| l.trim()).to_string();
+        findings.push(Finding { lint, path: path.to_string(), line, message, snippet });
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        let in_test = test_mask[i];
+
+        // L1: no-panic.
+        if scope.library && !in_test {
+            if t.is_punct(".")
+                && matches!(toks.get(i + 1), Some(n) if n.is_ident("unwrap"))
+                && matches!(toks.get(i + 2), Some(n) if n.is_punct("("))
+            {
+                push(
+                    "no-panic",
+                    t.line,
+                    "`.unwrap()` in library code; return a Result, restructure, or \
+                     allowlist with a reason"
+                        .to_string(),
+                );
+            }
+            if t.is_punct(".")
+                && matches!(toks.get(i + 1), Some(n) if n.is_ident("expect"))
+                && matches!(toks.get(i + 2), Some(n) if n.is_punct("("))
+            {
+                push(
+                    "no-panic",
+                    t.line,
+                    "`.expect(..)` in library code; return a Result or allowlist the \
+                     documented invariant"
+                        .to_string(),
+                );
+            }
+            if t.is_ident("panic") && matches!(toks.get(i + 1), Some(n) if n.is_punct("!")) {
+                push(
+                    "no-panic",
+                    t.line,
+                    "`panic!` in library code; return a Result or allowlist with a reason"
+                        .to_string(),
+                );
+            }
+        }
+
+        // L2: no-thread-spawn.
+        if !scope.parallel_runtime
+            && t.is_ident("thread")
+            && matches!(toks.get(i + 1), Some(n) if n.is_punct("::"))
+            && matches!(
+                toks.get(i + 2),
+                Some(n) if n.is_ident("spawn") || n.is_ident("scope") || n.is_ident("Builder")
+            )
+        {
+            let what = &toks[i + 2].text;
+            push(
+                "no-thread-spawn",
+                t.line,
+                format!(
+                    "`thread::{what}` outside crates/tensor/src/parallel.rs breaks the \
+                     bit-identical determinism boundary; dispatch through \
+                     adamel_tensor::parallel instead"
+                ),
+            );
+        }
+
+        // L3: no-float-eq.
+        if scope.library
+            && !in_test
+            && (t.is_punct("==") || t.is_punct("!="))
+            && (matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Float)
+                || i.checked_sub(1)
+                    .and_then(|p| toks.get(p))
+                    .is_some_and(|p| p.kind == TokKind::Float))
+        {
+            push(
+                "no-float-eq",
+                t.line,
+                format!(
+                    "float `{}` comparison; use an ordered comparison, an epsilon, or \
+                     allowlist a deliberate bit-exact check",
+                    t.text
+                ),
+            );
+        }
+
+        // L5: no-clock-in-compute.
+        if scope.deterministic_compute && !in_test {
+            let nondet = (t.is_ident("Instant")
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct("::"))
+                && matches!(toks.get(i + 2), Some(n) if n.is_ident("now")))
+                || t.is_ident("SystemTime")
+                || t.is_ident("thread_rng")
+                || t.is_ident("from_entropy");
+            if nondet {
+                push(
+                    "no-clock-in-compute",
+                    t.line,
+                    format!(
+                        "`{}` in a deterministic compute path; pass timing/seeding in from \
+                         the caller instead",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+
+    // L4: hashmap-order — needs a per-file symbol pass first.
+    if scope.library {
+        findings.extend(hashmap_order(path, &toks, &test_mask, &lines));
+    }
+
+    findings
+}
+
+/// L4: flags iteration over bindings/fields declared with a `HashMap` type
+/// in the same file. Iteration order of `HashMap` is randomized per process,
+/// so anything order-sensitive must sort first (and allowlist) or use
+/// `BTreeMap`.
+fn hashmap_order(path: &str, toks: &[Token], test_mask: &[bool], lines: &[&str]) -> Vec<Finding> {
+    // Pass 1: names declared as HashMap — `name: HashMap<..>` (fields, let
+    // annotations, params) or `name = HashMap::new()`.
+    let mut names: Vec<&str> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let declares = matches!(toks.get(i + 1), Some(n) if n.is_punct(":") || n.is_punct("="))
+            && matches!(toks.get(i + 2), Some(n) if n.is_ident("HashMap"));
+        if declares && !names.contains(&t.text.as_str()) {
+            names.push(&t.text);
+        }
+    }
+    if names.is_empty() {
+        return Vec::new();
+    }
+
+    const ITERATORS: &[&str] =
+        &["iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "drain"];
+    let mut findings = Vec::new();
+    let mut push = |line: usize, name: &str, how: &str| {
+        let snippet = lines.get(line.saturating_sub(1)).map_or("", |l| l.trim()).to_string();
+        findings.push(Finding {
+            lint: "hashmap-order",
+            path: path.to_string(),
+            line,
+            message: format!(
+                "{how} over `HashMap` binding `{name}`: iteration order is nondeterministic; \
+                 sort the results (and allowlist) or switch to BTreeMap"
+            ),
+            snippet,
+        });
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if test_mask[i] || t.kind != TokKind::Ident || !names.contains(&t.text.as_str()) {
+            continue;
+        }
+        // `name.iter()` etc.
+        if matches!(toks.get(i + 1), Some(n) if n.is_punct("."))
+            && matches!(toks.get(i + 2), Some(n) if ITERATORS.contains(&n.text.as_str()))
+            && matches!(toks.get(i + 3), Some(n) if n.is_punct("("))
+        {
+            push(t.line, &t.text, format!("`.{}()`", toks[i + 2].text).as_str());
+            continue;
+        }
+        // `for .. in [&[mut]] [self.]name {` — scan back for `in` within the
+        // loop header.
+        let mut back = i;
+        let mut saw_in = false;
+        while back > 0 {
+            back -= 1;
+            let b = &toks[back];
+            if b.is_ident("in") {
+                saw_in = true;
+                break;
+            }
+            let header_part = b.is_punct("&")
+                || b.is_ident("mut")
+                || b.is_ident("self")
+                || b.is_punct(".")
+                || b.is_punct("(")
+                || b.is_punct(")");
+            if !header_part {
+                break;
+            }
+        }
+        if saw_in && matches!(toks.get(i + 1), Some(n) if n.is_punct("{") || n.is_punct(".")) {
+            // `for x in name {` or `for x in name.iter() {` (latter already
+            // caught above; skip double report for `.`).
+            if toks.get(i + 1).is_some_and(|n| n.is_punct("{")) {
+                push(t.line, &t.text, "`for` loop");
+            }
+        }
+    }
+    findings
+}
+
+/// Marks every token that belongs to a `#[cfg(test)]` or `#[test]` item,
+/// including the attribute itself and the item's full brace block.
+fn test_token_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        // Find the attribute's closing `]` (brackets can nest:
+        // `#[cfg(any(test, feature = "x"))]`).
+        let attr_start = i;
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut attr_tokens: Vec<&Token> = Vec::new();
+        while j < toks.len() && depth > 0 {
+            if toks[j].is_punct("[") {
+                depth += 1;
+            } else if toks[j].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            attr_tokens.push(&toks[j]);
+            j += 1;
+        }
+        if j >= toks.len() {
+            break;
+        }
+        let is_test_attr = match attr_tokens.first() {
+            Some(t) if t.is_ident("test") => attr_tokens.len() == 1,
+            Some(t) if t.is_ident("cfg") => attr_tokens.iter().any(|t| t.is_ident("test")),
+            _ => false,
+        };
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        // The guarded item runs from the attribute through either the
+        // matching `}` of its first brace block, or a `;` reached first
+        // (e.g. `#[cfg(test)] use foo;`). Intervening attributes are part
+        // of the item.
+        let mut k = j + 1;
+        let mut end = toks.len().saturating_sub(1);
+        while k < toks.len() {
+            if toks[k].is_punct(";") {
+                end = k;
+                break;
+            }
+            if toks[k].is_punct("{") {
+                let mut bdepth = 1usize;
+                let mut m = k + 1;
+                while m < toks.len() && bdepth > 0 {
+                    if toks[m].is_punct("{") {
+                        bdepth += 1;
+                    } else if toks[m].is_punct("}") {
+                        bdepth -= 1;
+                    }
+                    m += 1;
+                }
+                end = m.saturating_sub(1);
+                break;
+            }
+            k += 1;
+        }
+        for slot in mask.iter_mut().take(end + 1).skip(attr_start) {
+            *slot = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/core/src/foo.rs";
+
+    fn lint_ids(path: &str, src: &str) -> Vec<&'static str> {
+        lint_file(path, src).into_iter().map(|f| f.lint).collect()
+    }
+
+    // ---- L1: no-panic ----
+
+    #[test]
+    fn l1_flags_unwrap_expect_panic_in_library_code() {
+        assert_eq!(lint_ids(LIB, "fn f(x: Option<u8>) -> u8 { x.unwrap() }"), vec!["no-panic"]);
+        assert_eq!(
+            lint_ids(LIB, "fn f(x: Option<u8>) -> u8 { x.expect(\"m\") }"),
+            vec!["no-panic"]
+        );
+        assert_eq!(lint_ids(LIB, "fn f() { panic!(\"boom\"); }"), vec!["no-panic"]);
+    }
+
+    #[test]
+    fn l1_ignores_test_code_comments_strings_and_bins() {
+        let tested = "#[cfg(test)]\nmod tests {\n fn f(x: Option<u8>) { x.unwrap(); }\n}";
+        assert!(lint_ids(LIB, tested).is_empty());
+        let test_fn = "#[test]\nfn t() { Some(1).unwrap(); }";
+        assert!(lint_ids(LIB, test_fn).is_empty());
+        assert!(lint_ids(LIB, "// x.unwrap()\nfn f() { let m = \"panic!\"; }").is_empty());
+        assert!(
+            lint_ids("crates/bench/src/bin/tool.rs", "fn f() { None::<u8>.unwrap(); }").is_empty()
+        );
+        // unwrap_or and friends are fine.
+        assert!(lint_ids(LIB, "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }").is_empty());
+    }
+
+    #[test]
+    fn l1_code_after_test_mod_is_still_linted() {
+        let src = "#[cfg(test)]\nmod tests { fn t() {} }\nfn f(x: Option<u8>) { x.unwrap(); }";
+        assert_eq!(lint_ids(LIB, src), vec!["no-panic"]);
+    }
+
+    // ---- L2: no-thread-spawn ----
+
+    #[test]
+    fn l2_flags_thread_spawn_and_scope_everywhere() {
+        assert_eq!(lint_ids(LIB, "fn f() { std::thread::spawn(|| {}); }"), vec!["no-thread-spawn"]);
+        assert_eq!(
+            lint_ids("crates/text/src/x.rs", "fn f() { thread::scope(|s| {}); }"),
+            vec!["no-thread-spawn"]
+        );
+        // Even inside test code: the determinism boundary is structural.
+        assert_eq!(
+            lint_ids(LIB, "#[test]\nfn t() { std::thread::spawn(|| {}); }"),
+            vec!["no-thread-spawn"]
+        );
+    }
+
+    #[test]
+    fn l2_exempts_the_parallel_runtime() {
+        assert!(lint_ids(
+            "crates/tensor/src/parallel.rs",
+            "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }"
+        )
+        .is_empty());
+    }
+
+    // ---- L3: no-float-eq ----
+
+    #[test]
+    fn l3_flags_float_literal_comparisons() {
+        assert_eq!(lint_ids(LIB, "fn f(x: f32) -> bool { x == 0.0 }"), vec!["no-float-eq"]);
+        assert_eq!(lint_ids(LIB, "fn f(x: f32) -> bool { 1.5 != x }"), vec!["no-float-eq"]);
+        assert_eq!(lint_ids(LIB, "fn f(x: f64) -> bool { x == 1e-7 }"), vec!["no-float-eq"]);
+    }
+
+    #[test]
+    fn l3_ignores_int_comparisons_ordered_ops_and_tests() {
+        assert!(lint_ids(LIB, "fn f(x: u8) -> bool { x == 0 }").is_empty());
+        assert!(lint_ids(LIB, "fn f(x: f32) -> bool { x <= 0.0 }").is_empty());
+        assert!(lint_ids(LIB, "#[test]\nfn t() { assert!(0.1 == 0.1); }").is_empty());
+    }
+
+    // ---- L4: hashmap-order ----
+
+    #[test]
+    fn l4_flags_iteration_over_hashmap_bindings() {
+        let field = "use std::collections::HashMap;\nstruct S { m: HashMap<u8, u8> }\n\
+                     impl S { fn f(&self) -> usize { self.m.iter().count() } }";
+        assert_eq!(lint_ids("crates/text/src/tfidf.rs", field), vec!["hashmap-order"]);
+        let local = "use std::collections::HashMap;\nfn f() { let m: HashMap<u8, u8> = \
+                     HashMap::new(); for (k, v) in &m { let _ = (k, v); } }";
+        assert_eq!(lint_ids("crates/text/src/tokenize.rs", local), vec!["hashmap-order"]);
+        let keys = "use std::collections::HashMap;\nfn f(m: HashMap<u8, u8>) { \
+                    for k in m.keys() { let _ = k; } }";
+        assert_eq!(lint_ids(LIB, keys), vec!["hashmap-order"]);
+    }
+
+    #[test]
+    fn l4_allows_lookups_and_btreemap() {
+        let lookup = "use std::collections::HashMap;\nfn f(m: &HashMap<u8, u8>) -> Option<&u8> \
+                      { m.get(&1) }";
+        assert!(lint_ids(LIB, lookup).is_empty());
+        let btree = "use std::collections::BTreeMap;\nstruct S { m: BTreeMap<u8, u8> }\n\
+                     impl S { fn f(&self) -> usize { self.m.iter().count() } }";
+        assert!(lint_ids(LIB, btree).is_empty());
+    }
+
+    // ---- L5: no-clock-in-compute ----
+
+    #[test]
+    fn l5_flags_clocks_and_entropy_in_compute_paths() {
+        let clock = "fn f() { let t = std::time::Instant::now(); let _ = t; }";
+        assert_eq!(lint_ids("crates/tensor/src/graph.rs", clock), vec!["no-clock-in-compute"]);
+        assert_eq!(lint_ids("crates/core/src/model.rs", clock), vec!["no-clock-in-compute"]);
+        let rng = "fn f() { let mut r = rand::thread_rng(); }";
+        assert_eq!(lint_ids("crates/tensor/src/init.rs", rng), vec!["no-clock-in-compute"]);
+    }
+
+    #[test]
+    fn l5_is_scoped_to_compute_paths() {
+        let clock = "fn f() { let t = std::time::Instant::now(); let _ = t; }";
+        assert!(lint_ids("crates/data/src/music.rs", clock).is_empty());
+        assert!(lint_ids("crates/bench/src/bin/perfjson.rs", clock).is_empty());
+    }
+
+    // ---- findings carry position + snippet ----
+
+    #[test]
+    fn findings_report_line_and_snippet() {
+        let src = "fn a() {}\nfn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}";
+        let f = &lint_file(LIB, src)[0];
+        assert_eq!(f.line, 3);
+        assert_eq!(f.snippet, "x.unwrap()");
+    }
+}

@@ -1,0 +1,114 @@
+//! `adamel-check`: run the project lints over the workspace.
+//!
+//! ```text
+//! cargo run -p adamel-check            # lint the workspace rooted at cwd
+//! cargo run -p adamel-check -- <root>  # lint an explicit workspace root
+//! ```
+//!
+//! Exit codes: 0 — clean (possibly with allowlisted findings), 1 — findings
+//! remain, 2 — usage or I/O error. Stale allowlist entries are findings too:
+//! the allowlist documents *current* deliberate violations, not history.
+
+#![forbid(unsafe_code)]
+
+use adamel_check::allow;
+use adamel_check::lints::{lint_file, Finding};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) if arg == "--help" || arg == "-h" => {
+            println!("usage: adamel-check [workspace-root]");
+            return ExitCode::SUCCESS;
+        }
+        Some(arg) => PathBuf::from(arg),
+        None => PathBuf::from("."),
+    };
+    match run(&root) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("adamel-check: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(root: &Path) -> Result<bool, String> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(format!(
+            "{} has no crates/ directory; run from the workspace root or pass it as the first \
+             argument",
+            root.display()
+        ));
+    }
+
+    let allow_path = root.join("lint.allow");
+    let entries = if allow_path.is_file() {
+        let text = std::fs::read_to_string(&allow_path)
+            .map_err(|e| format!("reading {}: {e}", allow_path.display()))?;
+        allow::parse(&text)?
+    } else {
+        Vec::new()
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(&crates_dir, &mut files)
+        .map_err(|e| format!("walking {}: {e}", crates_dir.display()))?;
+    files.sort();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for file in &files {
+        let rel = file.strip_prefix(root).unwrap_or(file).to_string_lossy().replace('\\', "/");
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        findings.extend(lint_file(&rel, &src));
+    }
+
+    let scanned = files.len();
+    let (kept, suppressed, unused) = allow::apply(findings, &entries);
+
+    for f in &kept {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.lint, f.message);
+    }
+    for e in &unused {
+        println!(
+            "lint.allow:{}: [stale-allow] entry for `{}` in {} matches nothing; remove it",
+            e.line, e.lint, e.path
+        );
+    }
+
+    let clean = kept.is_empty() && unused.is_empty();
+    println!(
+        "adamel-check: {} file(s) scanned, {} finding(s), {} allowlisted, {} stale allow \
+         entr{} — {}",
+        scanned,
+        kept.len(),
+        suppressed.len(),
+        unused.len(),
+        if unused.len() == 1 { "y" } else { "ies" },
+        if clean { "clean" } else { "FAILED" }
+    );
+    Ok(clean)
+}
+
+/// Recursively collects `.rs` files, skipping build output.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

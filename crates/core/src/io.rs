@@ -173,8 +173,8 @@ mod tests {
     fn save_load_round_trip_is_exact() {
         let (model, pairs) = trained_model();
         let mut buf = Vec::new();
-        save_model(&model, &mut buf).unwrap();
-        let restored = load_model(&mut BufReader::new(&buf[..])).unwrap();
+        save_model(&model, &mut buf).expect("save to Vec cannot fail");
+        let restored = load_model(&mut BufReader::new(&buf[..])).expect("round trip should load");
         assert_eq!(model.predict(&pairs), restored.predict(&pairs));
         assert_eq!(model.num_parameters(), restored.num_parameters());
         assert_eq!(
@@ -193,7 +193,7 @@ mod tests {
     fn rejects_truncated_file() {
         let (model, _) = trained_model();
         let mut buf = Vec::new();
-        save_model(&model, &mut buf).unwrap();
+        save_model(&model, &mut buf).expect("save to Vec cannot fail");
         let truncated = &buf[..buf.len() / 2];
         assert!(load_model(&mut BufReader::new(truncated)).is_err());
     }

@@ -27,6 +27,7 @@
 //! assert!(prauc > 0.5);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attention;

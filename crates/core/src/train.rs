@@ -97,7 +97,7 @@ pub fn fit(
                 let weights = support_weights(model, &train_enc, &train_labels, enc, labels);
                 let y = Matrix::from_vec(labels.len(), 1, labels.clone());
                 let w = Matrix::from_vec(labels.len(), 1, weights);
-                Some((y, w))
+                Some((enc, y, w))
             }
             _ => None,
         };
@@ -127,11 +127,10 @@ pub fn fit(
             // than taking a standalone optimizer step — Adam's normalized
             // step sizes would otherwise overweight S_U regardless of φ.
             if batches == 0 {
-                if let Some((y, w)) = &support_batch {
+                if let Some((enc, y, w)) = &support_batch {
                     // The support encoding is reused every epoch, so the graph
                     // gets its own copy.
-                    let support_nodes =
-                        model.forward(&mut g, support_enc.as_ref().unwrap().clone());
+                    let support_nodes = model.forward(&mut g, (**enc).clone());
                     let s = g.weighted_bce_with_logits(support_nodes.logits, y.clone(), w.clone());
                     let s = g.scale(s, cfg.phi);
                     loss = g.add(loss, s);

@@ -30,7 +30,7 @@ pub fn target_only_attributes(source: &Domain, target: &Domain, schema: &Schema)
     let tgt = non_missing_pair_fraction(target, schema);
     src.iter()
         .zip(&tgt)
-        .filter(|((_, s), (_, t))| *s == 0.0 && *t > 0.0)
+        .filter(|((_, s), (_, t))| *s <= 0.0 && *t > 0.0)
         .map(|((a, _), _)| a.clone())
         .collect()
 }

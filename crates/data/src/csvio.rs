@@ -173,8 +173,8 @@ mod tests {
     fn round_trip_preserves_pairs() {
         let (domain, schema) = sample_domain();
         let mut buf = Vec::new();
-        write_pairs(&domain, &schema, &mut buf).unwrap();
-        let restored = read_pairs(&mut BufReader::new(&buf[..])).unwrap();
+        write_pairs(&domain, &schema, &mut buf).expect("write to Vec cannot fail");
+        let restored = read_pairs(&mut BufReader::new(&buf[..])).expect("round trip should parse");
         assert_eq!(restored.len(), domain.len());
         assert_eq!(restored.pairs[0].label, Some(true));
         assert_eq!(restored.pairs[0].left.get("title"), Some("Hey, \"Jude\""));

@@ -211,7 +211,7 @@ www.catalog.com//7,www.getprice.com//3,1
             &mut BufReader::new(RECORDS.as_bytes()),
             &mut BufReader::new(LABELS.as_bytes()),
         )
-        .unwrap()
+        .expect("fixture corpus should parse")
     }
 
     #[test]
@@ -219,7 +219,7 @@ www.catalog.com//7,www.getprice.com//3,1
         let c = corpus();
         assert_eq!(c.records.len(), 4);
         assert_eq!(c.sources.len(), 3);
-        let r = c.record("www.ebay.com//1").unwrap();
+        let r = c.record("www.ebay.com//1").expect("ebay//1 is in the fixture");
         assert_eq!(r.get("price"), Some("199"));
         assert_eq!(r.get("page_title"), Some("dell u2412m 24 monitor"));
     }
@@ -228,7 +228,9 @@ www.catalog.com//7,www.getprice.com//3,1
     fn quoted_values_survive() {
         let c = corpus();
         assert_eq!(
-            c.record("www.getprice.com//3").unwrap().get("page_title"),
+            c.record("www.getprice.com//3")
+                .expect("getprice//3 is in the fixture")
+                .get("page_title"),
             Some("dell, u2412m")
         );
     }
@@ -237,10 +239,10 @@ www.catalog.com//7,www.getprice.com//3,1
     fn match_components_are_transitive() {
         let c = corpus();
         // ebay//1 ~ catalog//7 ~ getprice//3 form one component.
-        let a = c.record("www.ebay.com//1").unwrap().entity_id;
-        let b = c.record("www.catalog.com//7").unwrap().entity_id;
-        let d = c.record("www.getprice.com//3").unwrap().entity_id;
-        let neg = c.record("www.catalog.com//8").unwrap().entity_id;
+        let a = c.record("www.ebay.com//1").expect("ebay//1 is in the fixture").entity_id;
+        let b = c.record("www.catalog.com//7").expect("catalog//7 is in the fixture").entity_id;
+        let d = c.record("www.getprice.com//3").expect("getprice//3 is in the fixture").entity_id;
+        let neg = c.record("www.catalog.com//8").expect("catalog//8 is in the fixture").entity_id;
         assert_eq!(a, b);
         assert_eq!(b, d);
         assert_ne!(a, neg);
@@ -253,7 +255,7 @@ www.catalog.com//7,www.getprice.com//3,1
         assert_eq!(skipped, 0);
         assert_eq!(domain.len(), 3);
         for p in &domain.pairs {
-            assert_eq!(p.label.unwrap(), p.ground_truth());
+            assert_eq!(p.label.expect("labeled_domain emits labeled pairs"), p.ground_truth());
         }
     }
 
@@ -271,7 +273,7 @@ www.catalog.com//7,www.getprice.com//3,1
             &mut BufReader::new(RECORDS.as_bytes()),
             &mut BufReader::new(labels.as_bytes()),
         )
-        .unwrap();
+        .expect("fixture corpus should parse");
         let (domain, skipped) = c.labeled_domain();
         assert_eq!(domain.len(), 0);
         assert_eq!(skipped, 1);

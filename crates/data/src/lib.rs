@@ -17,6 +17,7 @@
 //! [`incremental`]), weak labeling, data analysis ([`analysis`]) and CSV
 //! interchange ([`csvio`]) complete the data layer.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;

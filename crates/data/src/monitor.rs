@@ -143,9 +143,9 @@ impl MonitorWorld {
                 id: id as u64,
                 manufacturer: rng.gen_range(0..names::MANUFACTURERS.len()),
                 model,
-                size: *[22u32, 24, 27, 32, 34].get(rng.gen_range(0..5)).unwrap(),
+                size: [22u32, 24, 27, 32, 34][rng.gen_range(0..5)],
                 resolution: RESOLUTIONS[rng.gen_range(0..RESOLUTIONS.len())],
-                refresh: *[60u32, 75, 144, 165, 240].get(rng.gen_range(0..5)).unwrap(),
+                refresh: [60u32, 75, 144, 165, 240][rng.gen_range(0..5)],
                 price: rng.gen_range(90..900),
             });
         }

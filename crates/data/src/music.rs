@@ -274,12 +274,12 @@ pub fn render(
             NameFormat::Abbreviated => names::abbreviate(name),
             NameFormat::Native => names::nativeize(name),
             NameFormat::LastFirst => {
-                let mut parts: Vec<&str> = name.split_whitespace().collect();
-                if parts.len() >= 2 {
-                    let last = parts.pop().unwrap();
-                    format!("{}, {}", last, parts.join(" "))
-                } else {
-                    name.to_string()
+                let parts: Vec<&str> = name.split_whitespace().collect();
+                match parts.split_last() {
+                    Some((last, rest)) if !rest.is_empty() => {
+                        format!("{}, {}", last, rest.join(" "))
+                    }
+                    _ => name.to_string(),
                 }
             }
             NameFormat::SurnameOnly => name.split_whitespace().last().unwrap_or(name).to_string(),

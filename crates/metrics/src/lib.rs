@@ -6,6 +6,7 @@
 //! and an exact t-SNE implementation for the attention-space visualizations
 //! of Fig. 7.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;

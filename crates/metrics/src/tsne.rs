@@ -211,7 +211,7 @@ pub fn separation_ratio(a: &[[f32; 2]], b: &[[f32; 2]]) -> f64 {
     }
     let between = mean_dist(a, b, false);
     let within = 0.5 * (mean_dist(a, a, true) + mean_dist(b, b, true));
-    if within == 0.0 {
+    if within <= 0.0 {
         return f64::INFINITY;
     }
     between / within

@@ -7,6 +7,7 @@
 //! and the support set `S_U`), and the contrastive relational
 //! [`FeatureExtractor`] implementing Eq. 2–3.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod blocking;

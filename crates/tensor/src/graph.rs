@@ -10,6 +10,7 @@
 
 use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamSet};
+use crate::sanitize;
 
 /// Handle to a node on the tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,6 +61,32 @@ enum Op {
     },
 }
 
+impl Op {
+    /// Stable op name for sanitizer provenance and diagnostics.
+    fn name(&self) -> &'static str {
+        match self {
+            Op::Constant => "constant",
+            Op::Param(_) => "param",
+            Op::MatMul(..) => "matmul",
+            Op::Add(..) => "add",
+            Op::AddRowBroadcast(..) => "add_row_broadcast",
+            Op::Mul(..) => "mul",
+            Op::MulColBroadcast(..) => "mul_col_broadcast",
+            Op::Scale(..) => "scale",
+            Op::Relu(_) => "relu",
+            Op::Tanh(_) => "tanh",
+            Op::Sigmoid(_) => "sigmoid",
+            Op::SoftmaxRows(_) => "softmax_rows",
+            Op::ConcatCols(_) => "concat_cols",
+            Op::SliceCols { .. } => "slice_cols",
+            Op::MeanAll(_) => "mean_all",
+            Op::SumAll(_) => "sum_all",
+            Op::WeightedBceWithLogits { .. } => "weighted_bce_with_logits",
+            Op::KlConstRows { .. } => "kl_const_rows",
+        }
+    }
+}
+
 struct Node {
     value: Matrix,
     op: Op,
@@ -83,7 +110,13 @@ impl Graph {
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> Var {
-        debug_assert!(value.is_finite(), "non-finite value produced on the tape");
+        // Sanitizer (on by default in debug builds, `ADAMEL_SANITIZE=1`
+        // elsewhere): every tape op's output must be finite, and a softmax
+        // output must additionally be a valid row distribution (Eq. 5–6).
+        sanitize::check_finite(op.name(), &value);
+        if matches!(op, Op::SoftmaxRows(_)) {
+            sanitize::check_rows_normalized(op.name(), &value);
+        }
         self.nodes.push(Node { value, op });
         Var(self.nodes.len() - 1)
     }
@@ -248,6 +281,9 @@ impl Graph {
                 }
             }
         }
+        // KL is analytically non-negative; the eps guard can dip the
+        // computed mean a hair below zero but never materially (Eq. 9–10).
+        sanitize::check_loss_non_negative("kl_const_rows", total / n, 1e-3);
         self.push(Matrix::scalar(total / n), Op::KlConstRows { probs, target, eps })
     }
 

@@ -44,6 +44,7 @@
 //! assert!((params.value(w).get(0, 0) - 1.0).abs() < 0.05);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod graph;
@@ -53,6 +54,7 @@ mod params;
 
 pub mod init;
 pub mod parallel;
+pub mod sanitize;
 
 pub use graph::{Graph, Var};
 pub use matrix::Matrix;

@@ -61,6 +61,7 @@ impl Default for Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut ParamSet) {
+        crate::sanitize::check_grads_finite("adam", params);
         self.ensure_state(params);
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
@@ -109,6 +110,7 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut ParamSet) {
+        crate::sanitize::check_grads_finite("sgd", params);
         for id in params.ids().collect::<Vec<_>>() {
             let lr = self.lr;
             let (value, grad) = params.value_and_grad_mut(id);

@@ -1,0 +1,117 @@
+//! Sanitizer provenance tests: every check must name the offending op (or
+//! parameter) in its panic message, so a NaN is debuggable at the source.
+//!
+//! These tests force the sanitizer ON for the whole process (each integration
+//! test binary is its own process, so this cannot leak into other suites) and
+//! use `catch_unwind` to inspect the panic payload.
+
+use adamel_tensor::{sanitize, Adam, Graph, Matrix, Optimizer, ParamSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs `f` with the sanitizer forced on and returns the panic message it
+/// must produce.
+fn sanitized_panic_message<F: FnOnce()>(f: F) -> String {
+    sanitize::set_forced(Some(true));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    let payload = result.expect_err("sanitizer should have panicked");
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload should be a string")
+}
+
+#[test]
+fn overflowing_mul_is_attributed_to_the_mul_op() {
+    // Constants are finite; the first non-finite value appears at the `mul`
+    // node (1e38 * 1e38 overflows f32 to inf), so `mul` must be named.
+    let msg = sanitized_panic_message(|| {
+        let mut g = Graph::new();
+        let a = g.constant(Matrix::from_rows(&[vec![1e38, 2.0]]));
+        let b = g.constant(Matrix::from_rows(&[vec![1e38, 3.0]]));
+        let _ = g.mul(a, b);
+    });
+    assert!(msg.contains("adamel-sanitize:"), "missing prefix: {msg}");
+    assert!(msg.contains("`mul`"), "wrong op named: {msg}");
+    assert!(msg.contains("inf"), "value not reported: {msg}");
+}
+
+#[test]
+fn overflowing_matmul_is_attributed_to_the_matmul_op() {
+    let msg = sanitized_panic_message(|| {
+        let mut g = Graph::new();
+        let a = g.constant(Matrix::from_rows(&[vec![1e38, 1e38]]));
+        let b = g.constant(Matrix::from_rows(&[vec![1e38], vec![1e38]]));
+        let _ = g.matmul(a, b);
+    });
+    assert!(msg.contains("`matmul`"), "wrong op named: {msg}");
+}
+
+#[test]
+fn ragged_softmax_row_is_reported_with_its_sum() {
+    // A row that is not a distribution (sums to 1.5) must be rejected and
+    // the report must say which row and what it summed to.
+    let ragged = Matrix::from_rows(&[vec![0.5, 0.5], vec![0.75, 0.75]]);
+    let msg = sanitized_panic_message(|| {
+        sanitize::check_rows_normalized("softmax_rows", &ragged);
+    });
+    assert!(msg.contains("`softmax_rows`"), "wrong op named: {msg}");
+    assert!(msg.contains("row 1"), "wrong row named: {msg}");
+    assert!(msg.contains("1.5"), "sum not reported: {msg}");
+}
+
+#[test]
+fn negative_loss_is_rejected_beyond_tolerance() {
+    let msg = sanitized_panic_message(|| {
+        sanitize::check_loss_non_negative("kl_const_rows", -0.5, 1e-3);
+    });
+    assert!(msg.contains("`kl_const_rows`"), "wrong op named: {msg}");
+
+    // Within tolerance (the eps-guard dip) is accepted.
+    sanitize::set_forced(Some(true));
+    sanitize::check_loss_non_negative("kl_const_rows", -1e-4, 1e-3);
+    sanitize::check_loss_non_negative("kl_const_rows", 0.25, 1e-3);
+}
+
+#[test]
+fn nan_loss_is_rejected() {
+    let msg = sanitized_panic_message(|| {
+        sanitize::check_loss_non_negative("kl_const_rows", f32::NAN, 1e-3);
+    });
+    assert!(msg.contains("`kl_const_rows`"), "wrong op named: {msg}");
+}
+
+#[test]
+fn nan_gradient_is_attributed_to_the_parameter_by_name() {
+    // Inject a NaN gradient directly into one of two parameters; the
+    // optimizer's pre-step check must name that parameter, not the other.
+    let msg = sanitized_panic_message(|| {
+        let mut params = ParamSet::new();
+        let _w = params.insert("attn_w", Matrix::scalar(0.0));
+        let b = params.insert("attn_b", Matrix::scalar(0.0));
+        params.grad_mut(b).add_assign(&Matrix::scalar(f32::NAN));
+        let mut opt = Adam::with_lr(0.1);
+        opt.step(&mut params);
+    });
+    assert!(msg.contains("`adam`"), "optimizer not named: {msg}");
+    assert!(msg.contains("`attn_b`"), "wrong parameter named: {msg}");
+    assert!(!msg.contains("`attn_w`"), "innocent parameter named: {msg}");
+}
+
+#[test]
+fn finite_pipeline_passes_all_checks() {
+    // A realistic forward/backward/step round trip with the sanitizer on:
+    // nothing fires.
+    sanitize::set_forced(Some(true));
+    let mut params = ParamSet::new();
+    let w = params.insert("w", Matrix::from_rows(&[vec![0.1], vec![-0.2]]));
+    let mut g = Graph::new();
+    let x = g.constant(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+    let wv = g.param(&params, w);
+    let logits = g.matmul(x, wv);
+    let probs = g.softmax_rows(logits);
+    let loss = g.mean_all(probs);
+    g.backward(loss, &mut params);
+    let mut opt = Adam::with_lr(0.01);
+    opt.step(&mut params);
+}

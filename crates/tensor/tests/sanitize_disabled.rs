@@ -1,0 +1,21 @@
+//! Forced-off sanitizer is a no-op: the same non-finite graph that panics in
+//! `tests/sanitize.rs` must pass silently here. Lives in its own integration
+//! test binary because `set_forced` is process-global.
+
+use adamel_tensor::{sanitize, Graph, Matrix};
+
+#[test]
+fn disabled_sanitizer_lets_non_finite_values_through() {
+    sanitize::set_forced(Some(false));
+    assert!(!sanitize::enabled());
+
+    let mut g = Graph::new();
+    let a = g.constant(Matrix::from_rows(&[vec![1e38, 2.0]]));
+    let b = g.constant(Matrix::from_rows(&[vec![1e38, 3.0]]));
+    let prod = g.mul(a, b);
+    assert!(g.value(prod).get(0, 0).is_infinite());
+
+    // Direct checks are no-ops too.
+    sanitize::check_rows_normalized("softmax_rows", &Matrix::from_rows(&[vec![5.0, 5.0]]));
+    sanitize::check_loss_non_negative("kl_const_rows", f32::NAN, 1e-3);
+}

@@ -181,7 +181,7 @@ pub fn cosine_slices(a: &[f32], b: &[f32]) -> f32 {
         na += x * x;
         nb += y * y;
     }
-    if na == 0.0 || nb == 0.0 {
+    if na <= 0.0 || nb <= 0.0 {
         0.0
     } else {
         dot / (na.sqrt() * nb.sqrt())

@@ -11,6 +11,7 @@
 //! See the module docs of [`embedding`] and DESIGN.md §2 for why this
 //! preserves the experiments' behaviour.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod embedding;

@@ -4,12 +4,15 @@
 //! summarization and by the data-analysis experiments (Fig. 12's token
 //! frequency distributions).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Document-frequency statistics accumulated over a corpus of token lists.
+///
+/// Stored in a `BTreeMap` so any future iteration (serialization, debugging
+/// dumps) is deterministic by construction.
 #[derive(Debug, Default, Clone)]
 pub struct TfIdf {
-    doc_freq: HashMap<String, usize>,
+    doc_freq: BTreeMap<String, usize>,
     num_docs: usize,
 }
 
@@ -77,9 +80,13 @@ impl TfIdf {
 }
 
 /// Raw token frequency counter (Fig. 12's "top-10 word tokens" analysis).
+///
+/// `counts` is a `BTreeMap`: [`TokenFrequency::top_k`] iterates it, and a
+/// hash map there would make the pre-sort order (hence equal-count ties
+/// before the explicit tie-break) depend on hasher state.
 #[derive(Debug, Default, Clone)]
 pub struct TokenFrequency {
-    counts: HashMap<String, usize>,
+    counts: BTreeMap<String, usize>,
     total: usize,
 }
 
