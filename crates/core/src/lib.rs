@@ -46,4 +46,4 @@ pub use eval::{evaluate_f1, evaluate_prauc};
 pub use io::{load_model, save_model};
 pub use model::AdamelModel;
 pub use pipeline::{Linker, LinkerConfig, MatchResult};
-pub use train::{fit, TrainReport};
+pub use train::{fit, support_weights, TrainReport};

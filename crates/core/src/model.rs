@@ -182,6 +182,16 @@ impl AdamelModel {
         ForwardNodes { attention, logits }
     }
 
+    /// Builds the full forward graph over an encoded batch and returns the
+    /// `(attention, logits)` node handles. This is the single-graph hook the
+    /// differential oracle and the chunking boundary tests use to compare
+    /// [`predict_encoded`](Self::predict_encoded) against one monolithic
+    /// forward pass.
+    pub fn forward_graph(&self, g: &mut Graph, encoded: Matrix) -> (Var, Var) {
+        let nodes = self.forward(g, encoded);
+        (nodes.attention, nodes.logits)
+    }
+
     /// Match scores (`sigmoid(logit)`) for a batch of pairs.
     pub fn predict(&self, pairs: &[EntityPair]) -> Vec<f32> {
         if pairs.is_empty() {

@@ -156,7 +156,10 @@ pub fn fit(
 /// Distance-ratio weights of Eq. 12: support pairs whose attention vectors
 /// deviate from the source-domain centroid of their class get larger
 /// weights, highlighting pairs from genuinely new sources.
-fn support_weights(
+///
+/// Public so the differential oracle (`adamel-oracle`) can diff the weight
+/// computation against its `f64` re-derivation of Eq. 11–12.
+pub fn support_weights(
     model: &AdamelModel,
     train_enc: &Matrix,
     train_labels: &[f32],

@@ -15,11 +15,12 @@ fn rec(source: u32, id: u64, name: &str, city: &str) -> Record {
     r
 }
 
-/// 600 synthetic pairs — enough to cross the 512-row chunk boundary.
-fn pairs() -> Vec<EntityPair> {
+/// `n` synthetic pairs; callers pick counts that straddle the 512-row chunk
+/// boundary.
+fn pairs_n(n: u64) -> Vec<EntityPair> {
     let names = ["acme corp", "globex", "initech", "umbrella", "hooli", "stark"];
     let cities = ["berlin", "tokyo", "lima", ""];
-    (0..600u64)
+    (0..n)
         .map(|i| {
             let n = names[(i % 6) as usize];
             let c = cities[(i % 4) as usize];
@@ -29,6 +30,11 @@ fn pairs() -> Vec<EntityPair> {
             EntityPair::unlabeled(left, right)
         })
         .collect()
+}
+
+/// 600 synthetic pairs — enough to cross the 512-row chunk boundary.
+fn pairs() -> Vec<EntityPair> {
+    pairs_n(600)
 }
 
 fn model() -> AdamelModel {
@@ -63,6 +69,31 @@ fn chunked_attention_matches_small_batches() {
     for i in 0..all.len() {
         let expected = if i < 500 { head.row(i) } else { tail.row(i - 500) };
         assert_eq!(full.row(i), expected, "attention row {i} differs");
+    }
+}
+
+#[test]
+fn chunk_boundary_sizes_match_single_shot_graph() {
+    // Exactly-at, one-below, one-above, and a multiple of the 512-row chunk
+    // size: chunked inference must be bit-identical to one monolithic
+    // forward graph followed by the same sigmoid.
+    let m = model();
+    for n in [511u64, 512, 513, 1024] {
+        let batch = pairs_n(n);
+        let encoded = m.encode(&batch);
+        let chunked = m.predict_encoded(&encoded);
+
+        let mut g = adamel_tensor::Graph::new();
+        let (_, logits) = m.forward_graph(&mut g, encoded);
+        let single: Vec<f32> =
+            g.value(logits).as_slice().iter().map(|&z| 1.0 / (1.0 + (-z).exp())).collect();
+
+        assert_eq!(chunked.len(), single.len(), "n = {n}");
+        assert_eq!(
+            chunked.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            single.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "chunked prediction drifted from the single-shot graph at n = {n}"
+        );
     }
 }
 

@@ -23,12 +23,18 @@ pub struct PrPoint {
 /// ground truth (true = positive).
 pub fn pr_curve(scores: &[f32], labels: &[bool]) -> Vec<PrPoint> {
     assert_eq!(scores.len(), labels.len(), "pr_curve length mismatch");
+    assert!(scores.iter().all(|s| s.is_finite()), "pr_curve: scores must be finite");
     let total_pos = labels.iter().filter(|&&l| l).count();
     if total_pos == 0 || scores.is_empty() {
         return Vec::new();
     }
+    // `total_cmp` gives a genuine total order, so the ranking — and with it
+    // every tie group — is independent of the input order. The previous
+    // `partial_cmp(..).unwrap_or(Equal)` comparator was not antisymmetric in
+    // the presence of NaN, which made the sort order (and the curve)
+    // input-order dependent and hung the tie loop below on NaN thresholds.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
 
     let mut points = Vec::new();
     let mut tp = 0usize;

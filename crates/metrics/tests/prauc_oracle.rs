@@ -1,0 +1,60 @@
+//! PR-curve properties against the oracle's O(n²) reference.
+//!
+//! `adamel_oracle::pr_auc_ref` re-scans the whole sample set per distinct
+//! threshold, so it is trivially independent of input order. The production
+//! single-sweep implementation must match it exactly — in particular through
+//! tie groups, which the quantized score strategy below generates heavily.
+
+use adamel_metrics::{pr_auc, pr_curve};
+use adamel_oracle::{pr_auc_ref, pr_curve_ref};
+use proptest::prelude::*;
+
+/// Scores snapped to a 1/8 grid so that ties are common, plus labels.
+fn tied_samples() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
+    proptest::collection::vec((0.0f32..1.0, any::<bool>()), 1..60)
+        .prop_map(|v| v.into_iter().map(|(s, l)| ((s * 8.0).round() / 8.0, l)).unzip())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn auc_matches_oracle((scores, labels) in tied_samples()) {
+        let prod = pr_auc(&scores, &labels);
+        let oracle = pr_auc_ref(&scores, &labels);
+        prop_assert!(
+            (prod - oracle).abs() < 1e-9,
+            "pr_auc {prod} vs oracle {oracle} on {scores:?} / {labels:?}"
+        );
+    }
+
+    #[test]
+    fn curve_matches_oracle_pointwise((scores, labels) in tied_samples()) {
+        let prod = pr_curve(&scores, &labels);
+        let oracle = pr_curve_ref(&scores, &labels);
+        prop_assert_eq!(prod.len(), oracle.len());
+        for (p, o) in prod.iter().zip(&oracle) {
+            prop_assert!((p.precision - o.precision).abs() < 1e-12);
+            prop_assert!((p.recall - o.recall).abs() < 1e-12);
+            prop_assert!((p.threshold - o.threshold).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn auc_is_input_order_independent((scores, labels) in tied_samples()) {
+        // Regression for the old partial_cmp sort: reversing the input used
+        // to regroup ties and change the curve.
+        let base = pr_auc(&scores, &labels);
+        let rs: Vec<f32> = scores.iter().rev().copied().collect();
+        let rl: Vec<bool> = labels.iter().rev().copied().collect();
+        prop_assert!((pr_auc(&rs, &rl) - base).abs() < 1e-12);
+    }
+}
+
+#[test]
+#[should_panic(expected = "finite")]
+fn nan_scores_are_rejected_instead_of_hanging() {
+    // The old comparator made NaN thresholds spin the tie loop forever; the
+    // contract is now an explicit assert.
+    pr_auc(&[0.5, f32::NAN, 0.25], &[true, false, true]);
+}

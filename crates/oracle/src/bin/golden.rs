@@ -1,0 +1,87 @@
+//! Golden-fixture manager.
+//!
+//! Default mode verifies every `tests/golden/*.golden` fixture bit-for-bit
+//! against a fresh evaluation of the current math stack and exits non-zero on
+//! drift. `--bless` recomputes the builtin fixture set and rewrites the
+//! files; run it only when an output change is intended, and commit the diff.
+//!
+//! ```text
+//! cargo run -p adamel-oracle --bin golden            # verify
+//! cargo run -p adamel-oracle --bin golden -- --bless # regenerate
+//! ```
+
+use adamel_oracle::golden::{builtin_fixtures, fixture_dir};
+use adamel_oracle::Fixture;
+use std::process::ExitCode;
+
+fn bless() -> std::io::Result<()> {
+    let dir = fixture_dir();
+    std::fs::create_dir_all(&dir)?;
+    for fixture in builtin_fixtures() {
+        let path = dir.join(format!("{}.golden", fixture.name));
+        std::fs::write(&path, fixture.serialize())?;
+        println!("blessed {}", path.display());
+    }
+    Ok(())
+}
+
+fn verify() -> std::io::Result<bool> {
+    let dir = fixture_dir();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "golden"))
+        .collect();
+    entries.sort();
+    if entries.is_empty() {
+        eprintln!("no fixtures under {}; run with --bless first", dir.display());
+        return Ok(false);
+    }
+    let mut ok = true;
+    for path in entries {
+        let name = path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+        let text = std::fs::read_to_string(&path)?;
+        match Fixture::parse(name.clone(), &text).and_then(|f| {
+            f.verify()?;
+            Ok(())
+        }) {
+            Ok(()) => println!("ok {name}"),
+            Err(e) => {
+                eprintln!("FAIL {name}: {e}");
+                ok = false;
+            }
+        }
+    }
+    if !ok {
+        eprintln!(
+            "golden drift detected; if intended, run\n  cargo run -p adamel-oracle --bin golden \
+             -- --bless\nand commit the updated fixtures"
+        );
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--bless") => match bless() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("golden: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        None => match verify() {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("golden: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some(other) => {
+            eprintln!("golden: unknown flag {other} (only --bless is supported)");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! O(n²) reference precision-recall computation.
+//!
+//! For every distinct threshold `t` (descending) the whole sample set is
+//! re-scanned counting `score >= t` predictions — quadratic, branch-free of
+//! any sort subtleties, and trivially independent of input order. The
+//! production `adamel_metrics::pr_curve` (one sorted sweep with tie groups)
+//! must produce exactly this curve.
+
+/// One `(precision, recall, threshold)` point of the reference curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefPrPoint {
+    /// Precision at this threshold.
+    pub precision: f64,
+    /// Recall at this threshold.
+    pub recall: f64,
+    /// The score threshold.
+    pub threshold: f64,
+}
+
+/// The reference PR curve over descending distinct thresholds.
+///
+/// Empty when there are no positives (matching production). Scores must be
+/// finite, also matching production's contract.
+pub fn pr_curve_ref(scores: &[f32], labels: &[bool]) -> Vec<RefPrPoint> {
+    assert_eq!(scores.len(), labels.len(), "pr_curve_ref length mismatch");
+    assert!(scores.iter().all(|s| s.is_finite()), "pr_curve_ref: scores must be finite");
+    let total_pos = labels.iter().filter(|&&l| l).count();
+    if total_pos == 0 || scores.is_empty() {
+        return Vec::new();
+    }
+    // Distinct thresholds, descending. `==` merges +0.0 with -0.0 the same
+    // way the `score >= t` scan below treats them as one group.
+    let mut thresholds: Vec<f32> = scores.to_vec();
+    thresholds.sort_by(|a, b| b.total_cmp(a));
+    thresholds.dedup_by(|a, b| a == b);
+
+    let mut points = Vec::with_capacity(thresholds.len());
+    for &t in &thresholds {
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        for (&s, &l) in scores.iter().zip(labels) {
+            if s >= t {
+                if l {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+        }
+        points.push(RefPrPoint {
+            precision: tp as f64 / (tp + fp) as f64,
+            recall: tp as f64 / total_pos as f64,
+            threshold: f64::from(t),
+        });
+    }
+    points
+}
+
+/// Average-precision PRAUC from the reference curve.
+pub fn pr_auc_ref(scores: &[f32], labels: &[bool]) -> f64 {
+    let mut auc = 0.0;
+    let mut prev_recall = 0.0;
+    for p in pr_curve_ref(scores, labels) {
+        auc += (p.recall - prev_recall) * p.precision;
+        prev_recall = p.recall;
+    }
+    auc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sklearn_example() {
+        let scores = [0.1, 0.4, 0.35, 0.8];
+        let labels = [false, false, true, true];
+        assert!((pr_auc_ref(&scores, &labels) - 0.8333333).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_ties_give_prevalence() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((pr_auc_ref(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_positives_is_zero() {
+        assert!(pr_auc_ref(&[0.5, 0.1], &[false, false]).abs() < 1e-12);
+        assert!(pr_auc_ref(&[], &[]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_invariant_by_construction() {
+        let scores = [0.9, 0.7, 0.7, 0.4, 0.2, 0.7];
+        let labels = [true, false, true, true, false, false];
+        let base = pr_auc_ref(&scores, &labels);
+        let perm = [5usize, 2, 0, 4, 1, 3];
+        let s2: Vec<f32> = perm.iter().map(|&i| scores[i]).collect();
+        let l2: Vec<bool> = perm.iter().map(|&i| labels[i]).collect();
+        assert!((pr_auc_ref(&s2, &l2) - base).abs() < 1e-15);
+    }
+
+    #[test]
+    fn signed_zero_scores_form_one_group() {
+        let scores = [0.0f32, -0.0, 0.5];
+        let labels = [true, false, true];
+        let curve = pr_curve_ref(&scores, &labels);
+        assert_eq!(curve.len(), 2, "±0.0 must merge into one threshold group");
+    }
+}

@@ -1,0 +1,287 @@
+//! Differential suite: the production math stack against the `f64` oracle.
+//!
+//! Three layers, mirroring the crate: raw kernels (matmul family, softmax)
+//! under both serial and multi-threaded dispatch, random tape programs with
+//! forward + gradient checks, and the model-level paper equations.
+
+use adamel::{support_weights, AdamelConfig, AdamelModel};
+use adamel_data::{make_mel_split, EntityType, MusicConfig, MusicWorld, Scenario, SplitCounts};
+use adamel_oracle::{
+    check_program, check_with_fault, encode_pairs_ref, gen_program, op_ulps, reduction_budget,
+    render_reproducer, support_weights_ref, Budget, Fault, ModelOracle, RefMatrix, EPS32,
+};
+use adamel_schema::EntityPair;
+use adamel_tensor::parallel::with_threads;
+use adamel_tensor::{Graph, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Asserts every element of `prod` is an acceptable realization of `oracle`,
+/// with the reduction budget scaled per element by `abs_scale`.
+fn assert_close(what: &str, prod: &Matrix, oracle: &RefMatrix, ulps: u64, abs_scale: &RefMatrix) {
+    assert_eq!((prod.rows(), prod.cols()), oracle.shape(), "{what}: shape mismatch");
+    for i in 0..prod.rows() {
+        for j in 0..prod.cols() {
+            let budget = Budget { ulps, abs: abs_scale.get(i, j) };
+            assert!(
+                budget.accepts(prod.get(i, j), oracle.get(i, j)),
+                "{what}[{i},{j}]: production {:e} vs oracle {:e} outside {budget:?}",
+                prod.get(i, j),
+                oracle.get(i, j)
+            );
+        }
+    }
+}
+
+fn check_matmul_family(threads: usize) {
+    let mut rng = StdRng::seed_from_u64(0xd1ff ^ threads as u64);
+    for &(m, k, n) in &[(1usize, 1usize, 1usize), (7, 13, 5), (33, 17, 9), (64, 96, 3)] {
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let ra = RefMatrix::from_matrix(&a);
+        let rb = RefMatrix::from_matrix(&b);
+        // Forward-error scale |A|·|B| per element covers cancellation.
+        let scale = ra.map(f64::abs).matmul(&rb.map(f64::abs));
+        let abs = scale.map(|s| (k as f64 + 4.0) * EPS32 * s);
+        let ulps = op_ulps("matmul", k);
+        let (p, p_tn, p_nt) = with_threads(threads, || {
+            (a.matmul(&b), a.transpose().matmul_tn(&b), a.matmul_nt(&b.transpose()))
+        });
+        assert_close("matmul", &p, &ra.matmul(&rb), ulps, &abs);
+        assert_close("matmul_tn", &p_tn, &ra.matmul(&rb), ulps, &abs);
+        assert_close("matmul_nt", &p_nt, &ra.matmul(&rb), ulps, &abs);
+    }
+}
+
+#[test]
+fn matmul_family_matches_oracle_serial() {
+    check_matmul_family(1);
+}
+
+#[test]
+fn matmul_family_matches_oracle_threaded() {
+    check_matmul_family(4);
+}
+
+#[test]
+fn softmax_rows_matches_oracle() {
+    let mut rng = StdRng::seed_from_u64(0x50f7);
+    for &(n, m) in &[(1usize, 1usize), (5, 4), (17, 9)] {
+        let x = random_matrix(&mut rng, n, m);
+        let oracle = RefMatrix::from_matrix(&x).softmax_rows();
+        let budget = reduction_budget("softmax_rows", m, 1.0);
+        let abs = RefMatrix::zeros(n, m).map(|_| budget.abs);
+        for threads in [1usize, 4] {
+            let prod = with_threads(threads, || x.softmax_rows());
+            assert_close("softmax_rows", &prod, &oracle, budget.ulps, &abs);
+        }
+    }
+}
+
+fn sweep(threads: usize) {
+    for i in 0..40u64 {
+        let seed = i.wrapping_mul(1007).wrapping_add(3);
+        let program = gen_program(seed, 10);
+        if let Err(d) = with_threads(threads, || check_program(&program)) {
+            panic!(
+                "seed {seed} ({threads} threads): {d}\nreproducer:\n{}",
+                render_reproducer(&program)
+            );
+        }
+    }
+}
+
+#[test]
+fn generated_program_sweep_serial() {
+    sweep(1);
+}
+
+#[test]
+fn generated_program_sweep_threaded() {
+    sweep(4);
+}
+
+#[test]
+fn injected_kernel_bugs_are_caught() {
+    // A mutation check on the harness itself: perturbing any intermediate by
+    // a relative 1e-3 — far outside every budget — must surface as a
+    // discrepancy, on the faulted node or downstream of it.
+    let mut checked = 0;
+    for seed in 0..6u64 {
+        let program = gen_program(seed.wrapping_mul(77).wrapping_add(5), 8);
+        assert!(check_program(&program).is_ok(), "clean program must pass (seed {seed})");
+        for inst in 0..program.insts.len() {
+            if program.insts[inst].parents().is_empty() {
+                continue; // faulting a leaf changes the real input, not the op
+            }
+            let fault = Fault { inst, rel: 1e-3 };
+            assert!(
+                check_with_fault(&program, Some(fault)).is_err(),
+                "fault at inst {inst} of seed-{seed} program went undetected"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 20, "mutation sweep too small ({checked} faults)");
+}
+
+/// Small labeled world shared by the model-level tests.
+fn world_pairs() -> (adamel_schema::Schema, Vec<EntityPair>, Vec<EntityPair>) {
+    let world = MusicWorld::generate(&MusicConfig::tiny(), 3);
+    let records = world.records_of(EntityType::Artist, None);
+    let split = make_mel_split(
+        &records,
+        "name",
+        &[0, 1, 2],
+        &[3, 4, 5, 6],
+        Scenario::Overlapping,
+        &SplitCounts::tiny(),
+        7,
+    );
+    let train: Vec<EntityPair> = split.train.pairs.iter().take(20).cloned().collect();
+    let support: Vec<EntityPair> = split.support.pairs.iter().take(12).cloned().collect();
+    (world.schema().clone(), train, support)
+}
+
+#[test]
+fn pair_encoding_matches_oracle() {
+    let (schema, pairs, _) = world_pairs();
+    for mode in [adamel_schema::FeatureMode::Both, adamel_schema::FeatureMode::SharedOnly] {
+        let cfg = AdamelConfig::tiny().with_feature_mode(mode);
+        let model = AdamelModel::new(cfg.clone(), schema.clone());
+        let reference = encode_pairs_ref(&schema, &cfg, &pairs);
+        for threads in [1usize, 4] {
+            let prod = with_threads(threads, || model.encode(&pairs));
+            assert_eq!((prod.rows(), prod.cols()), reference.shape());
+            for i in 0..prod.rows() {
+                for j in 0..prod.cols() {
+                    let (p, o) = (f64::from(prod.get(i, j)), reference.get(i, j));
+                    assert!(
+                        (p - o).abs() <= 1e-4 * o.abs().max(1.0),
+                        "encode[{i},{j}] ({threads} threads): {p:e} vs oracle {o:e}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn model_forward_matches_oracle() {
+    let (schema, pairs, _) = world_pairs();
+    for cfg in
+        [AdamelConfig::tiny(), AdamelConfig::tiny().with_seed(9).with_uniform_attention(true)]
+    {
+        let model = AdamelModel::new(cfg.clone(), schema.clone());
+        let oracle = ModelOracle::new(&model);
+        let fwd = oracle.forward(&encode_pairs_ref(&schema, &cfg, &pairs));
+        for threads in [1usize, 4] {
+            let (att, logits, preds) = with_threads(threads, || {
+                let encoded = model.encode(&pairs);
+                let preds = model.predict_encoded(&encoded);
+                let mut g = Graph::new();
+                let (att, logits) = model.forward_graph(&mut g, encoded);
+                (g.value(att).clone(), g.value(logits).clone(), preds)
+            });
+            for (i, &pred) in preds.iter().enumerate() {
+                let (p, o) = (f64::from(logits.get(i, 0)), fwd.logits.get(i, 0));
+                assert!(
+                    (p - o).abs() <= 1e-3 * o.abs().max(1.0),
+                    "logit {i} ({threads} threads): {p:e} vs oracle {o:e}"
+                );
+                let sig = 1.0 / (1.0 + (-o).exp());
+                assert!(
+                    (f64::from(pred) - sig).abs() <= 1e-3,
+                    "prediction {i} ({threads} threads) off oracle sigmoid"
+                );
+                for j in 0..att.cols() {
+                    let d = (f64::from(att.get(i, j)) - fwd.attention.get(i, j)).abs();
+                    assert!(d <= 1e-3, "attention ({i},{j}) ({threads} threads) off by {d:e}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn losses_match_oracle() {
+    let (schema, pairs, _) = world_pairs();
+    let cfg = AdamelConfig::tiny();
+    let model = AdamelModel::new(cfg.clone(), schema.clone());
+    let oracle = ModelOracle::new(&model);
+    let fwd = oracle.forward(&encode_pairs_ref(&schema, &cfg, &pairs));
+
+    let labels_f32: Vec<f32> =
+        pairs.iter().map(|p| if p.label == Some(true) { 1.0 } else { 0.0 }).collect();
+    let labels_f64: Vec<f64> = labels_f32.iter().map(|&v| f64::from(v)).collect();
+    let weights_f32: Vec<f32> = (0..pairs.len()).map(|i| 0.5 + 0.1 * i as f32).collect();
+    let weights_f64: Vec<f64> = weights_f32.iter().map(|&v| f64::from(v)).collect();
+
+    let encoded = model.encode(&pairs);
+    let mut g = Graph::new();
+    let (att, logits) = model.forward_graph(&mut g, encoded);
+    let y = Matrix::from_vec(labels_f32.len(), 1, labels_f32);
+    let w = Matrix::from_vec(weights_f32.len(), 1, weights_f32);
+    let bce = g.weighted_bce_with_logits(logits, y, w);
+    let target = g.value(att).mean_rows();
+    let kl = g.kl_const_rows(att, target.clone(), 1e-7);
+
+    let bce_o = adamel_oracle::weighted_bce_ref(&fwd.logits, &labels_f64, &weights_f64);
+    assert!(
+        (f64::from(g.value(bce).item()) - bce_o).abs() <= 1e-3 * bce_o.abs().max(1.0),
+        "weighted bce {} vs oracle {bce_o}",
+        g.value(bce).item()
+    );
+
+    let target_ref = RefMatrix::from_matrix(&target);
+    let kl_o = adamel_oracle::kl_ref(&fwd.attention, &target_ref, 1e-7);
+    assert!(
+        (f64::from(g.value(kl).item()) - kl_o).abs() <= 1e-3 * kl_o.abs().max(1.0),
+        "kl {} vs oracle {kl_o}",
+        g.value(kl).item()
+    );
+
+    let zero_o = adamel_oracle::zero_loss_ref(bce_o, kl_o, f64::from(cfg.lambda));
+    let prod_zero = (1.0 - f64::from(cfg.lambda)) * f64::from(g.value(bce).item())
+        + f64::from(cfg.lambda) * f64::from(g.value(kl).item());
+    assert!((prod_zero - zero_o).abs() <= 1e-3 * zero_o.abs().max(1.0));
+}
+
+#[test]
+fn support_weights_match_oracle() {
+    let (schema, train, support) = world_pairs();
+    let cfg = AdamelConfig::tiny();
+    let model = AdamelModel::new(cfg.clone(), schema.clone());
+    let oracle = ModelOracle::new(&model);
+
+    let train_enc = model.encode(&train);
+    let support_enc = model.encode(&support);
+    let train_labels: Vec<f32> =
+        train.iter().map(|p| if p.label == Some(true) { 1.0 } else { 0.0 }).collect();
+    let support_labels: Vec<f32> =
+        support.iter().map(|p| if p.label == Some(true) { 1.0 } else { 0.0 }).collect();
+
+    let att_s = oracle.forward(&encode_pairs_ref(&schema, &cfg, &train)).attention;
+    let att_u = oracle.forward(&encode_pairs_ref(&schema, &cfg, &support)).attention;
+    let labels_s: Vec<f64> = train_labels.iter().map(|&v| f64::from(v)).collect();
+    let labels_u: Vec<f64> = support_labels.iter().map(|&v| f64::from(v)).collect();
+    let reference = support_weights_ref(&att_s, &labels_s, &att_u, &labels_u);
+
+    for threads in [1usize, 4] {
+        let prod = with_threads(threads, || {
+            support_weights(&model, &train_enc, &train_labels, &support_enc, &support_labels)
+        });
+        assert_eq!(prod.len(), reference.len());
+        for (i, (&p, &o)) in prod.iter().zip(&reference).enumerate() {
+            assert!(
+                (f64::from(p) - o).abs() <= 5e-3 * o.abs().max(1.0),
+                "support weight {i} ({threads} threads): {p:e} vs oracle {o:e}"
+            );
+        }
+    }
+}

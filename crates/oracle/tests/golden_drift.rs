@@ -1,0 +1,69 @@
+//! Cross-PR drift guard: the committed fixtures under `tests/golden/` must
+//! still verify bit-for-bit against the current math stack. On intended
+//! output changes, re-bless with
+//! `cargo run -p adamel-oracle --bin golden -- --bless` and commit the diff.
+
+use adamel_oracle::golden::{builtin_fixtures, fixture_dir};
+use adamel_oracle::Fixture;
+
+fn committed_fixtures() -> Vec<Fixture> {
+    let dir = fixture_dir();
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| {
+            panic!("missing {} ({e}); run the golden bin with --bless", dir.display())
+        })
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "golden"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let name = p.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+            let text = std::fs::read_to_string(&p).expect("fixture readable");
+            Fixture::parse(name, &text).expect("fixture parses")
+        })
+        .collect()
+}
+
+#[test]
+fn committed_fixtures_have_not_drifted() {
+    let fixtures = committed_fixtures();
+    assert!(fixtures.len() >= 2, "expected at least two committed fixtures");
+    for f in &fixtures {
+        f.verify().unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+#[test]
+fn committed_fixtures_cover_the_builtin_set() {
+    // A renamed or added builtin fixture must be re-blessed into the tree.
+    let committed: Vec<String> = committed_fixtures().into_iter().map(|f| f.name).collect();
+    for builtin in builtin_fixtures() {
+        assert!(
+            committed.contains(&builtin.name),
+            "builtin fixture {} is not committed; run the golden bin with --bless",
+            builtin.name
+        );
+    }
+}
+
+#[test]
+fn committed_bits_match_a_fresh_bless() {
+    // The serialized text itself (not just verify()) must be reproducible, so
+    // a --bless run on an unchanged stack yields a clean `git status`.
+    let committed = committed_fixtures();
+    for builtin in builtin_fixtures() {
+        let on_disk = committed
+            .iter()
+            .find(|f| f.name == builtin.name)
+            .unwrap_or_else(|| panic!("{} missing from tests/golden", builtin.name));
+        assert_eq!(
+            on_disk.serialize(),
+            builtin.serialize(),
+            "{}: committed fixture differs from a fresh bless",
+            builtin.name
+        );
+    }
+}

@@ -2,6 +2,7 @@
 //! backward pass is compared against central finite differences on random
 //! inputs.
 
+use adamel_oracle::{kl_ref, RefMatrix};
 use adamel_tensor::{Graph, Matrix, ParamId, ParamSet};
 use proptest::prelude::*;
 
@@ -219,6 +220,111 @@ proptest! {
             let bce_scaled = g.scale(bce, 0.3);
             g.add(kl_scaled, bce_scaled)
         }, 1e-2, 4e-2);
+    }
+}
+
+/// Like [`gradcheck`], but the finite differences come from an `f64` oracle
+/// re-implementation of the loss (`adamel-oracle`), so the numeric gradient
+/// carries none of the `f32` forward-pass rounding that forces loose
+/// tolerances above. The oracle forward is also checked against production.
+fn oracle_gradcheck(
+    values: Matrix,
+    build: &LossFn,
+    oracle_loss: &dyn Fn(&RefMatrix) -> f64,
+    tol: f32,
+) {
+    let mut params = ParamSet::new();
+    let id = params.insert("p", values.clone());
+
+    let mut g = Graph::new();
+    let loss = build(&mut g, &params, id);
+    let prod_loss = f64::from(g.value(loss).item());
+    let base = RefMatrix::from_matrix(&values);
+    let oracle_val = oracle_loss(&base);
+    assert!(
+        (prod_loss - oracle_val).abs() <= 1e-3 * oracle_val.abs().max(1.0),
+        "forward drifted from oracle: production {prod_loss}, oracle {oracle_val}"
+    );
+    g.backward(loss, &mut params);
+    let analytic = params.grad(id).clone();
+
+    let h = 1e-5f64;
+    for i in 0..values.rows() {
+        for j in 0..values.cols() {
+            let mut up = base.clone();
+            up.set(i, j, base.get(i, j) + h);
+            let mut down = base.clone();
+            down.set(i, j, base.get(i, j) - h);
+            let numeric = (oracle_loss(&up) - oracle_loss(&down)) / (2.0 * h);
+            let a = f64::from(analytic.get(i, j));
+            let denom = 1.0f64.max(a.abs()).max(numeric.abs());
+            assert!(
+                (a - numeric).abs() / denom < f64::from(tol),
+                "oracle grad mismatch at ({i},{j}): analytic {a}, oracle fd {numeric}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kl_term_grad_matches_oracle_fd(m in small_matrix(3, 4)) {
+        // The Eq. 9 KL term exactly as training composes it: probabilities
+        // from a softmax, eps-guarded log against a constant target row.
+        let target = [0.1f64, 0.2, 0.3, 0.4];
+        oracle_gradcheck(
+            m,
+            &move |g, p, id| {
+                let z = g.param(p, id);
+                let probs = g.softmax_rows(z);
+                let t = Matrix::from_vec(1, 4, target.map(|v| v as f32).to_vec());
+                g.kl_const_rows(probs, t, 1e-7)
+            },
+&move |z| {
+                let t = RefMatrix::from_vec(1, 4, target.to_vec());
+                kl_ref(&z.softmax_rows(), &t, 1e-7)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn attention_softmax_path_grad_matches_oracle_fd(m in small_matrix(3, 2)) {
+        // The Eq. 5–6 attention path: energies from tanh projections, a
+        // softmax over features, and the attention column scaling the
+        // projection it came from (mul_col_broadcast), reduced to a scalar.
+        let x = [[1.0f64, 0.5, -0.3], [0.2, -1.0, 0.8]];
+        let a = [1.0f64, -1.0];
+        let e_t = [0.4f64, 0.6];
+        oracle_gradcheck(
+            m,
+            &move |g, p, id| {
+                let w = g.param(p, id);
+                let xc = g.constant(Matrix::from_vec(2, 3, x.iter().flatten().map(|&v| v as f32).collect()));
+                let h = g.matmul(xc, w);
+                let t = g.tanh(h);
+                let ac = g.constant(Matrix::from_vec(2, 1, a.map(|v| v as f32).to_vec()));
+                let e = g.matmul(t, ac);
+                let etc = g.constant(Matrix::from_vec(2, 1, e_t.map(|v| v as f32).to_vec()));
+                let scores = g.concat_cols(&[e, etc]);
+                let att = g.softmax_rows(scores);
+                let col = g.slice_cols(att, 0, 1);
+                let scaled = g.mul_col_broadcast(t, col);
+                g.sum_all(scaled)
+            },
+&move |w| {
+                let xc = RefMatrix::from_vec(2, 3, x.iter().flatten().copied().collect());
+                let t = xc.matmul(w).map(f64::tanh);
+                let ac = RefMatrix::from_vec(2, 1, a.to_vec());
+                let e = t.matmul(&ac);
+                let etc = RefMatrix::from_vec(2, 1, e_t.to_vec());
+                let att = RefMatrix::concat_cols(&[&e, &etc]).softmax_rows();
+                t.mul_col_broadcast(&att.slice_cols(0, 1)).sum()
+            },
+            2e-2,
+        );
     }
 }
 

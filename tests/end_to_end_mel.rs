@@ -122,3 +122,37 @@ fn attention_remains_a_distribution_after_training() {
         assert!(att.row(i).iter().all(|&v| v >= 0.0));
     }
 }
+
+#[test]
+fn bench_repro_path_smoke() {
+    // Exercises the full paper-reproduction path (world → experiment split →
+    // run_method → metric) at a shrunk scale with a single run, so CI covers
+    // the bench harness itself, not just the unit layers. Budget: well under
+    // 30 s.
+    use adamel_bench::{run_method, Method, Metric, MusicExperiment, Scale};
+    let scale = Scale {
+        music_artists: 30,
+        monitor_products: 40,
+        train_pairs_per_class: 40,
+        weak_train_pairs_per_class: 80,
+        test_pairs_per_class: 30,
+        runs: 1,
+    };
+    let experiment = MusicExperiment::new(&scale, EntityType::Artist, 3);
+    let split = experiment.split(&scale, Scenario::Overlapping, false, 3);
+    let outcome = run_method(
+        Method::AdamelZero,
+        &experiment.schema(),
+        &split,
+        Metric::PrAuc,
+        &AdamelConfig::tiny(),
+        &adamel_baselines::BaselineConfig::tiny(),
+        3,
+    );
+    assert!(
+        outcome.score.is_finite() && (0.0..=1.0).contains(&outcome.score),
+        "repro-path PRAUC {} out of range",
+        outcome.score
+    );
+    assert!(outcome.num_parameters > 0);
+}
