@@ -1,6 +1,6 @@
-//! Emits `BENCH_parallel.json`: serial-vs-parallel timings for the matmul
-//! kernels, batch pair encoding, and end-to-end prediction at 1/2/4/8
-//! worker threads.
+//! Emits `BENCH_parallel.json` (or `--out <path>`): serial-vs-parallel
+//! timings for the matmul kernels, batch pair encoding, and end-to-end
+//! prediction at 1/2/4/8 worker threads.
 //!
 //! Thread counts are forced with [`parallel::with_threads`], which also
 //! bypasses the serial-fallback FLOP threshold, so every row measures the
@@ -8,10 +8,19 @@
 //! speedups are only meaningful relative to the physical cores available —
 //! on a single-core container every multi-thread row just measures dispatch
 //! overhead.
+//!
+//! With `--obs`, an instrumented exercise pass (encode, chunked predict,
+//! attention, a small AdaMEL-hyb training run, and a `Linker::link` call)
+//! runs after the timed benches and its `adamel-obs` span report is embedded
+//! under the `"obs"` key. Timed benches always run with tracing forced off
+//! so `ADAMEL_TRACE=full` cannot pollute the numbers; the exercise pass uses
+//! the environment level (bumped to `full` if tracing is off).
 
-use adamel::config::AdamelConfig;
+use adamel::config::{AdamelConfig, Variant};
 use adamel::model::AdamelModel;
-use adamel_schema::{EntityPair, Record, Schema, SourceId};
+use adamel::pipeline::{Linker, LinkerConfig};
+use adamel::train::fit;
+use adamel_schema::{Domain, EntityPair, Record, Schema, SourceId};
 use adamel_tensor::{parallel, sanitize, Matrix};
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -77,7 +86,85 @@ fn synth_pairs(n: usize) -> (Schema, Vec<EntityPair>) {
     (schema, pairs)
 }
 
+/// Runs every instrumented hot path once so the `--obs` report covers the
+/// encode, attention, classifier, train-epoch, predict, and linking spans:
+/// a small AdaMEL-hyb training run on a separable toy task, a chunked
+/// (>512-row) predict over the synthetic paper-shaped pairs, an attention
+/// pass, and an end-to-end `Linker::link` call.
+fn run_obs_exercise(chunk_model: &AdamelModel, pairs: &[EntityPair]) {
+    // Chunked predict + attention on the 13-attribute synthetic pairs
+    // (600 rows > the 512-row chunk size, so the chunked path is exercised).
+    let sample = &pairs[..600.min(pairs.len())];
+    std::hint::black_box(chunk_model.predict(sample));
+    std::hint::black_box(chunk_model.attention(&sample[..16.min(sample.len())]));
+
+    // A tiny labeled task (same shape as the training unit tests) drives
+    // the per-epoch telemetry: base/KL/support loss components, support
+    // weights, and grad norms at `full`.
+    let names = ["alpha beta", "gamma delta", "epsilon zeta", "eta theta", "iota kappa"];
+    let rec = |source: u32, id: u64, name: &str| {
+        let mut r = Record::new(SourceId(source), id);
+        r.set("name", name);
+        r
+    };
+    let mut train = Vec::new();
+    let mut id = 0u64;
+    for n in names {
+        train.push(EntityPair::labeled(rec(0, id, n), rec(1, id, n), true));
+        id += 1;
+    }
+    for (i, n) in names.iter().enumerate() {
+        let other = names[(i + 1) % names.len()];
+        train.push(EntityPair::labeled(rec(0, id, n), rec(1, id + 1, other), false));
+        id += 2;
+    }
+    let target = Domain::new(
+        train.iter().map(|p| EntityPair::unlabeled(p.left.clone(), p.right.clone())).collect(),
+    );
+    let support = Domain::new(train[..4].to_vec());
+    let schema = Schema::new(vec!["name".into()]);
+    let mut model = AdamelModel::new(AdamelConfig::tiny(), schema);
+    fit(&mut model, Variant::Hyb, &Domain::new(train), Some(&target), Some(&support));
+
+    // End-to-end linking: blocking + batch scoring + thresholding.
+    let left: Vec<Record> =
+        names.iter().enumerate().map(|(i, n)| rec(0, 100 + i as u64, n)).collect();
+    let right: Vec<Record> =
+        names.iter().enumerate().map(|(i, n)| rec(1, 200 + i as u64, n)).collect();
+    let linker = Linker::new(model, LinkerConfig::default());
+    std::hint::black_box(linker.link(&left, &right));
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_parallel.json");
+    let mut obs_mode = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--obs" => obs_mode = true,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out_path = p.clone(),
+                    None => {
+                        eprintln!("perfjson: --out requires a path argument");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("perfjson: unknown argument `{other}` (expected --obs, --out <path>)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    // Timed benches run with tracing forced off: a `full`-level environment
+    // would otherwise add per-op span recording to every measured row.
+    adamel_obs::set_forced(Some(adamel_obs::TraceLevel::Off));
+
     let mut rows: Vec<Row> = Vec::new();
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 
@@ -144,6 +231,37 @@ fn main() {
     rows.push(Row { kernel: "predict_sanitize_on", n: NUM_PAIRS, threads: 1, ms: sanitize_on_ms });
     sanitize::set_forced(None);
 
+    // --- trace overhead pair: the same prediction with observability off vs
+    // `full`. Off must be indistinguishable from plain predict (one relaxed
+    // atomic load per probe); full pays a span per tape op. ---
+    let trace_off_ms = time_ms(3, || {
+        parallel::with_threads(1, || std::hint::black_box(model.predict_encoded(&encoded)));
+    });
+    rows.push(Row { kernel: "predict_trace_off", n: NUM_PAIRS, threads: 1, ms: trace_off_ms });
+    adamel_obs::set_forced(Some(adamel_obs::TraceLevel::Full));
+    let trace_full_ms = time_ms(3, || {
+        parallel::with_threads(1, || std::hint::black_box(model.predict_encoded(&encoded)));
+    });
+    rows.push(Row { kernel: "predict_trace_full", n: NUM_PAIRS, threads: 1, ms: trace_full_ms });
+    adamel_obs::set_forced(Some(adamel_obs::TraceLevel::Off));
+
+    // --- optional instrumented exercise pass (--obs) ---
+    let obs_json = if obs_mode {
+        // Hand control back to ADAMEL_TRACE; bump to `full` if that leaves
+        // tracing off, so `--obs` alone still produces a useful report.
+        adamel_obs::set_forced(None);
+        if !adamel_obs::enabled() {
+            adamel_obs::set_forced(Some(adamel_obs::TraceLevel::Full));
+        }
+        adamel_obs::report::reset();
+        run_obs_exercise(&model, &pairs);
+        let json = adamel_obs::report::render_json();
+        adamel_obs::set_forced(None);
+        Some(json)
+    } else {
+        None
+    };
+
     // --- emit JSON (hand-written: no serialization dependency) ---
     let mut out = String::new();
     out.push_str("{\n");
@@ -153,6 +271,12 @@ fn main() {
         sanitize_off_ms,
         sanitize_on_ms,
         if sanitize_off_ms > 0.0 { sanitize_on_ms / sanitize_off_ms } else { 1.0 }
+    ));
+    out.push_str(&format!(
+        "  \"trace\": {{\"off_ms\": {:.3}, \"full_ms\": {:.3}, \"full_over_off\": {:.3}}},\n",
+        trace_off_ms,
+        trace_full_ms,
+        if trace_off_ms > 0.0 { trace_full_ms / trace_off_ms } else { 1.0 }
     ));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -172,9 +296,14 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if let Some(obs) = obs_json {
+        out.push_str(",\n  \"obs\": ");
+        out.push_str(&obs);
+    }
+    out.push_str("\n}\n");
 
-    std::fs::write("BENCH_parallel.json", &out).expect("write BENCH_parallel.json");
+    std::fs::write(&out_path, &out).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     print!("{out}");
-    eprintln!("wrote BENCH_parallel.json");
+    eprintln!("wrote {out_path}");
 }

@@ -126,12 +126,14 @@ impl AdamelModel {
     /// by value: the graph owns its constants, so passing ownership avoids
     /// copying the `n x F·D` block on every forward.
     pub(crate) fn forward(&self, g: &mut Graph, encoded: Matrix) -> ForwardNodes {
+        let _forward = adamel_obs::span("forward");
         let f = self.extractor.num_features();
         let d = self.cfg.embed_dim;
         let n = encoded.rows();
         let input = g.constant(encoded);
 
         // Per-feature latent projections x_j (Eq. 4).
+        let phase = adamel_obs::span("feature_proj");
         let mut xs = Vec::with_capacity(f);
         for j in 0..f {
             let h_j = g.slice_cols(input, j * d, d);
@@ -139,10 +141,12 @@ impl AdamelModel {
             let b_j = g.param(&self.params, self.ids.b[j]);
             xs.push(g.linear_relu(h_j, v_j, b_j));
         }
+        drop(phase);
 
         // Shared attention energies e_j = aᵀ tanh(W x_j) (Eq. 5). The tanh
         // projections t_j are kept: they are both the attention input and
         // the H'-dim representation Θ consumes (§4.5's F·H'·H_hidden term).
+        let phase = adamel_obs::span("attention_head");
         let w_att = g.param(&self.params, self.ids.w_att);
         let a_att = g.param(&self.params, self.ids.a_att);
         let mut ts = Vec::with_capacity(f);
@@ -161,7 +165,9 @@ impl AdamelModel {
         } else {
             g.softmax_rows(e)
         };
+        drop(phase);
 
+        let phase = adamel_obs::span("classifier");
         // Attention-weighted features z_j = relu(g_j * t_j) (Eq. 7).
         let mut zs = Vec::with_capacity(f);
         for (j, &t_j) in ts.iter().enumerate() {
@@ -178,6 +184,7 @@ impl AdamelModel {
         let w2 = g.param(&self.params, self.ids.w2);
         let b2 = g.param(&self.params, self.ids.b2);
         let logits = g.linear(hidden, w2, b2);
+        drop(phase);
 
         ForwardNodes { attention, logits }
     }
@@ -207,6 +214,12 @@ impl AdamelModel {
             // of the borrowed-forward copy and only hits small batches.
             return self.predict_owned(encoded.clone());
         }
+        adamel_obs::trace_span!("predict");
+        adamel_obs::trace_count!("predict.rows", encoded.rows() as u64);
+        adamel_obs::trace_count!(
+            "predict.chunks",
+            encoded.rows().div_ceil(PREDICT_CHUNK_ROWS) as u64
+        );
         let mut scores = vec![0.0f32; encoded.rows()];
         parallel::parallel_for_row_blocks(
             &mut scores,
@@ -230,6 +243,8 @@ impl AdamelModel {
         if encoded.rows() > PREDICT_CHUNK_ROWS {
             return self.predict_encoded(&encoded);
         }
+        adamel_obs::trace_span!("predict");
+        adamel_obs::trace_count!("predict.rows", encoded.rows() as u64);
         let mut g = Graph::new();
         let nodes = self.forward(&mut g, encoded);
         g.value(nodes.logits).as_slice().iter().map(|&z| 1.0 / (1.0 + (-z).exp())).collect()
@@ -244,6 +259,8 @@ impl AdamelModel {
 
     /// Attention distributions for pre-encoded pairs.
     pub fn attention_encoded(&self, encoded: &Matrix) -> Matrix {
+        adamel_obs::trace_span!("attention");
+        adamel_obs::trace_count!("attention.rows", encoded.rows() as u64);
         let f = self.extractor.num_features();
         if encoded.rows() <= PREDICT_CHUNK_ROWS || f == 0 {
             let mut g = Graph::new();

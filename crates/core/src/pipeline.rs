@@ -67,7 +67,10 @@ impl Linker {
     /// one batch, applies the threshold (and one-to-one reduction if
     /// configured). Results are sorted by descending score.
     pub fn link(&self, left: &[Record], right: &[Record]) -> Vec<MatchResult> {
+        adamel_obs::trace_span!("link");
         let block_attrs: Vec<&str> = self.cfg.block_attrs.iter().map(String::as_str).collect();
+
+        let blocking = adamel_obs::span("blocking");
         let index = BlockingIndex::new(right, &block_attrs);
 
         // Candidate generation is independent per left record; probe the
@@ -86,10 +89,15 @@ impl Linker {
                 pair_ids.push((li, ri));
             }
         }
+        drop(blocking);
+        adamel_obs::trace_count!("link.candidates", pairs.len() as u64);
         if pairs.is_empty() {
             return Vec::new();
         }
+        let score_span = adamel_obs::span("score");
         let scores = self.model.predict(&pairs);
+        drop(score_span);
+        adamel_obs::trace_count!("link.pairs_scored", scores.len() as u64);
 
         let mut results: Vec<MatchResult> = pair_ids
             .into_iter()
@@ -104,6 +112,7 @@ impl Linker {
             let mut used_right = std::collections::HashSet::new();
             results.retain(|m| used_left.insert(m.left) && used_right.insert(m.right));
         }
+        adamel_obs::trace_count!("link.matches", results.len() as u64);
         results
     }
 }

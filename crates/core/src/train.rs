@@ -83,6 +83,7 @@ pub fn fit(
     let mut order: Vec<usize> = (0..n).collect();
 
     for _epoch in 0..cfg.epochs {
+        adamel_obs::trace_span!("train_epoch");
         // Algorithm 1 line 5: f̄(x') with current parameters.
         let target_mean = target_enc.as_ref().map(|enc| model.attention_encoded(enc).mean_rows());
 
@@ -95,6 +96,17 @@ pub fn fit(
         let support_batch = match (&support_enc, &support_labels) {
             (Some(enc), Some(labels)) => {
                 let weights = support_weights(model, &train_enc, &train_labels, enc, labels);
+                if adamel_obs::enabled() && !weights.is_empty() {
+                    let sum: f64 = weights.iter().map(|&w| f64::from(w)).sum();
+                    let min = weights.iter().copied().fold(f32::INFINITY, f32::min);
+                    let max = weights.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    adamel_obs::record_value(
+                        "train.support_weight_mean",
+                        sum / weights.len() as f64,
+                    );
+                    adamel_obs::record_value("train.support_weight_min", f64::from(min));
+                    adamel_obs::record_value("train.support_weight_max", f64::from(max));
+                }
                 let y = Matrix::from_vec(labels.len(), 1, labels.clone());
                 let w = Matrix::from_vec(labels.len(), 1, weights);
                 Some((enc, y, w))
@@ -104,6 +116,10 @@ pub fn fit(
 
         let mut epoch_loss = 0.0f32;
         let mut batches = 0usize;
+        // Loss-component accumulators (Eq. 9–14 telemetry); reading node
+        // values records no tape ops, so the graph is byte-identical with
+        // tracing on or off.
+        let (mut epoch_base, mut epoch_kl, mut epoch_support) = (0.0f64, 0.0f64, 0.0f64);
         for chunk in order.chunks(cfg.batch_size.max(1)) {
             let batch_enc = train_enc.select_rows(chunk);
             let batch_y =
@@ -112,10 +128,12 @@ pub fn fit(
             let mut g = Graph::new();
             let nodes = model.forward(&mut g, batch_enc);
             let base = g.bce_with_logits(nodes.logits, batch_y);
+            epoch_base += f64::from(g.value(base).item());
             let mut loss = match &target_mean {
                 Some(mean) => {
                     // L_un = (1-λ) L_base + λ KL(f̄(x') || f(x_i)) (Eq. 9).
                     let kl = g.kl_const_rows(nodes.attention, mean.clone(), 1e-7);
+                    epoch_kl += f64::from(g.value(kl).item());
                     let base_term = g.scale(base, 1.0 - cfg.lambda);
                     let kl_term = g.scale(kl, cfg.lambda);
                     g.add(base_term, kl_term)
@@ -132,6 +150,7 @@ pub fn fit(
                     // gets its own copy.
                     let support_nodes = model.forward(&mut g, (**enc).clone());
                     let s = g.weighted_bce_with_logits(support_nodes.logits, y.clone(), w.clone());
+                    epoch_support += f64::from(g.value(s).item());
                     let s = g.scale(s, cfg.phi);
                     loss = g.add(loss, s);
                 }
@@ -141,12 +160,26 @@ pub fn fit(
 
             model.params.zero_grads();
             g.backward(loss, &mut model.params);
+            // The extra norm pass is work, not just a read, so it is gated
+            // behind the `full` level rather than `enabled()`.
+            if adamel_obs::level() == adamel_obs::TraceLevel::Full {
+                adamel_obs::record_value("train.grad_norm", f64::from(model.params.grad_norm()));
+            }
             if let Some(clip) = cfg.grad_clip {
                 model.params.clip_grad_norm(clip);
             }
             opt.step(&mut model.params);
         }
 
+        let denom = batches.max(1) as f64;
+        adamel_obs::trace_value!("train.loss_base", epoch_base / denom);
+        if target_mean.is_some() {
+            adamel_obs::trace_value!("train.loss_kl", epoch_kl / denom);
+        }
+        if support_batch.is_some() {
+            adamel_obs::trace_value!("train.loss_support", epoch_support);
+        }
+        adamel_obs::trace_value!("train.loss_epoch", epoch_loss as f64 / denom);
         report.epoch_losses.push(epoch_loss / batches.max(1) as f32);
         report.epochs += 1;
     }

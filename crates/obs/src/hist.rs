@@ -1,0 +1,365 @@
+//! Fixed-layout log2 latency histograms.
+//!
+//! A [`Histogram`] has 64 buckets with power-of-two boundaries: bucket 0
+//! holds the value `0`, bucket `i > 0` holds values in `[2^(i-1), 2^i)`,
+//! and bucket 63 is unbounded above. The layout is fixed so histograms
+//! recorded by different threads (or different processes, via the JSON
+//! report) merge by summing bucket counts — no rebinning, no allocation.
+
+/// Number of buckets in every histogram. Fixed so merges are index-wise.
+pub const BUCKETS: usize = 64;
+
+/// A log2-bucket histogram of `u64` samples (nanoseconds, rows, bytes —
+/// any non-negative magnitude) with exact count/sum/min/max on the side.
+///
+/// Quantiles are approximate: a quantile resolves to the upper bound of
+/// the bucket it lands in (clamped to the exact observed max), which for
+/// power-of-two buckets means at most 2x relative error — plenty for
+/// latency triage, and immune to outliers blowing up storage.
+///
+/// # Examples
+///
+/// ```
+/// let mut h = adamel_obs::Histogram::new();
+/// for v in [1u64, 2, 3, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.sum(), 1006);
+/// assert_eq!(h.min(), Some(1));
+/// assert_eq!(h.max(), Some(1000));
+/// // p50 falls in the [2, 4) bucket; its upper bound is 4.
+/// assert_eq!(h.quantile(0.5), Some(4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let h = adamel_obs::Histogram::new();
+    /// assert_eq!(h.count(), 0);
+    /// assert_eq!(h.min(), None);
+    /// ```
+    pub fn new() -> Self {
+        Histogram { counts: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// The bucket index a value lands in: 0 for the value `0`, otherwise
+    /// `floor(log2(v)) + 1` capped at the last bucket.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adamel_obs::Histogram;
+    /// assert_eq!(Histogram::bucket_index(0), 0);
+    /// assert_eq!(Histogram::bucket_index(1), 1);
+    /// assert_eq!(Histogram::bucket_index(2), 2);
+    /// assert_eq!(Histogram::bucket_index(3), 2);
+    /// assert_eq!(Histogram::bucket_index(4), 3);
+    /// assert_eq!(Histogram::bucket_index(u64::MAX), 63);
+    /// ```
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// The half-open range `[lo, hi)` of values bucket `i` covers. Bucket 0
+    /// is `[0, 1)`; the final bucket's `hi` is `u64::MAX` (unbounded).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adamel_obs::Histogram;
+    /// assert_eq!(Histogram::bucket_range(0), (0, 1));
+    /// assert_eq!(Histogram::bucket_range(1), (1, 2));
+    /// assert_eq!(Histogram::bucket_range(5), (16, 32));
+    /// assert_eq!(Histogram::bucket_range(63).1, u64::MAX);
+    /// ```
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        if i == 0 {
+            (0, 1)
+        } else if i >= BUCKETS - 1 {
+            (1u64 << (BUCKETS - 2), u64::MAX)
+        } else {
+            (1u64 << (i - 1), 1u64 << i)
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Folds another histogram into this one (bucket-wise sum, min/max
+    /// union). Used when per-thread histograms drain into the registry.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let mut a = adamel_obs::Histogram::new();
+    /// let mut b = adamel_obs::Histogram::new();
+    /// a.record(1);
+    /// b.record(100);
+    /// a.merge(&b);
+    /// assert_eq!(a.count(), 2);
+    /// assert_eq!(a.min(), Some(1));
+    /// assert_eq!(a.max(), Some(100));
+    /// ```
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Mean of all samples, or `None` if empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let mut h = adamel_obs::Histogram::new();
+    /// h.record(10);
+    /// h.record(30);
+    /// assert_eq!(h.mean(), Some(20.0));
+    /// ```
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// holding the `ceil(q * count)`-th sample, clamped to the observed
+    /// max. Returns `None` if the histogram is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let mut h = adamel_obs::Histogram::new();
+    /// for _ in 0..99 {
+    ///     h.record(1);
+    /// }
+    /// h.record(1_000_000);
+    /// assert_eq!(h.quantile(0.5), Some(2)); // bucket [1,2) upper bound
+    /// assert_eq!(h.quantile(1.0), Some(1_000_000)); // clamped to max
+    /// ```
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = Self::bucket_range(i);
+                return Some(hi.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` triples, in value order.
+    /// This is what the JSON report serializes — empty buckets cost zero
+    /// bytes on the wire.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let mut h = adamel_obs::Histogram::new();
+    /// h.record(0);
+    /// h.record(5);
+    /// assert_eq!(h.nonzero_buckets(), vec![(0, 1, 1), (4, 8, 1)]);
+    /// ```
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_range(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        // Zero gets its own bucket.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        // Powers of two open a new bucket; one-less stays in the previous.
+        for shift in 0..63u32 {
+            let p = 1u64 << shift;
+            assert_eq!(Histogram::bucket_index(p), (shift as usize + 1).min(63));
+            if p > 1 {
+                assert_eq!(Histogram::bucket_index(p - 1), shift as usize);
+            }
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn bucket_ranges_tile_the_domain() {
+        // Consecutive buckets share boundaries: hi of i == lo of i+1.
+        for i in 0..BUCKETS - 1 {
+            let (_, hi) = Histogram::bucket_range(i);
+            let (lo_next, _) = Histogram::bucket_range(i + 1);
+            assert_eq!(hi, lo_next, "gap between buckets {i} and {}", i + 1);
+        }
+        // Every value's bucket actually contains it.
+        for v in [0u64, 1, 2, 3, 7, 8, 9, 1023, 1024, u64::MAX / 2, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            let (lo, hi) = Histogram::bucket_range(i);
+            assert!(v >= lo, "{v} below bucket {i} lo {lo}");
+            assert!(v < hi || i == BUCKETS - 1, "{v} at-or-above bucket {i} hi {hi}");
+        }
+    }
+
+    #[test]
+    fn record_tracks_exact_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        for v in [5u64, 0, 17, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 25);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(17));
+        assert_eq!(h.mean(), Some(6.25));
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_overflowing() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn quantile_walks_buckets_and_clamps_to_max() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1); // bucket [1, 2)
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket [512, 1024)
+        }
+        assert_eq!(h.quantile(0.0), Some(2));
+        assert_eq!(h.quantile(0.5), Some(2));
+        assert_eq!(h.quantile(0.9), Some(2));
+        // p99 lands in the 1000s bucket whose hi (1024) clamps to max 1000.
+        assert_eq!(h.quantile(0.99), Some(1000));
+        assert_eq!(h.quantile(1.0), Some(1000));
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let mut all = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [0u64, 1, 2, 900, 12345] {
+            all.record(v);
+            a.record(v);
+        }
+        for v in [7u64, 7, 8, u64::MAX] {
+            all.record(v);
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.nonzero_buckets(), all.nonzero_buckets());
+    }
+
+    #[test]
+    fn merge_into_empty_is_identity() {
+        let mut src = Histogram::new();
+        for v in [3u64, 99, 0] {
+            src.record(v);
+        }
+        let mut dst = Histogram::new();
+        dst.merge(&src);
+        assert_eq!(dst.count(), src.count());
+        assert_eq!(dst.min(), src.min());
+        assert_eq!(dst.max(), src.max());
+        assert_eq!(dst.nonzero_buckets(), src.nonzero_buckets());
+    }
+}

@@ -1,0 +1,102 @@
+//! Concurrent span aggregation, driven through the workspace's scoped-thread
+//! runtime (`adamel_tensor::parallel`) — the `no-thread-spawn` lint forbids
+//! spawning threads directly, and the runtime is what production code uses
+//! anyway. Aggregated counts must be deterministic at any thread count.
+
+use adamel_obs as obs;
+use adamel_tensor::parallel;
+use std::sync::Mutex;
+
+/// Trace level and registry are process-global; tests serialize here.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn count_of(json: &str, path: &str) -> Option<u64> {
+    // Span entries render as `"<path>": {"count": N, ...`.
+    let key = format!("\"{path}\": {{\"count\": ");
+    let start = json.find(&key)? + key.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+#[test]
+fn concurrent_spans_aggregate_exactly_once_per_item() {
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    obs::set_forced(Some(obs::TraceLevel::Spans));
+    obs::report::reset();
+
+    let n = 64usize;
+    for threads in [1, 2, 4, 7] {
+        let results = parallel::with_threads(threads, || {
+            parallel::parallel_map_collect(n, 1, |i| {
+                let _s = obs::span("worker_item");
+                i * 2
+            })
+        });
+        let expect: Vec<usize> = (0..n).map(|i| i * 2).collect();
+        assert_eq!(results, expect, "threads={threads}");
+    }
+
+    // 4 sweeps x 64 items, every span recorded exactly once regardless of
+    // which worker ran it or how the items were partitioned.
+    let json = obs::report::render_json();
+    assert_eq!(
+        count_of(&json, "worker_item"),
+        Some(4 * n as u64),
+        "lost or duplicated spans: {json}"
+    );
+
+    obs::set_forced(None);
+    obs::report::reset();
+}
+
+#[test]
+fn worker_spans_root_at_their_own_name() {
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    obs::set_forced(Some(obs::TraceLevel::Spans));
+    obs::report::reset();
+
+    {
+        let _outer = obs::span("dispatch");
+        let _ = parallel::with_threads(2, || {
+            parallel::parallel_map_collect(8, 1, |i| {
+                // Worker threads start with an empty path: their spans root
+                // at their own name, not under the caller's "dispatch".
+                let _s = obs::span("inner");
+                i
+            })
+        });
+    }
+
+    let json = obs::report::render_json();
+    assert_eq!(count_of(&json, "inner"), Some(8), "report: {json}");
+    assert_eq!(count_of(&json, "dispatch"), Some(1), "report: {json}");
+    assert_eq!(count_of(&json, "dispatch/inner"), None, "report: {json}");
+
+    obs::set_forced(None);
+    obs::report::reset();
+}
+
+#[test]
+fn concurrent_counters_sum_deterministically() {
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    obs::set_forced(Some(obs::TraceLevel::Spans));
+    obs::report::reset();
+
+    let _ = parallel::with_threads(4, || {
+        parallel::parallel_map_collect(100, 1, |i| {
+            obs::counter_add("items", 1);
+            obs::record_value("item_value", i as f64);
+            i
+        })
+    });
+    assert_eq!(obs::counter_value("items"), Some(100));
+    let stat = obs::value_stat("item_value").expect("values recorded");
+    assert_eq!(stat.count, 100);
+    assert_eq!(stat.min, 0.0);
+    assert_eq!(stat.max, 99.0);
+    assert_eq!(stat.sum, (0..100).sum::<i64>() as f64);
+
+    obs::set_forced(None);
+    obs::report::reset();
+}

@@ -136,6 +136,8 @@ impl FeatureExtractor {
     /// in parallel (each row only depends on its own pair), yielding the
     /// exact same bytes as a sequential `encode_pair` loop.
     pub fn encode_pairs(&self, pairs: &[EntityPair]) -> Matrix {
+        adamel_obs::trace_span!("encode_pairs");
+        adamel_obs::trace_count!("encode.pairs", pairs.len() as u64);
         let width = self.num_features() * self.dim();
         let mut data = vec![0.0f32; pairs.len() * width];
         // Rough per-row cost: every feature hashes ~crop tokens' worth of

@@ -148,66 +148,77 @@ impl Graph {
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        adamel_obs::trace_op!("matmul");
         let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
         self.push(value, Op::MatMul(a, b))
     }
 
     /// Elementwise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
+        adamel_obs::trace_op!("add");
         let value = self.nodes[a.0].value.add(&self.nodes[b.0].value);
         self.push(value, Op::Add(a, b))
     }
 
     /// Adds a `1 x m` bias row to every row of an `n x m` node.
     pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        adamel_obs::trace_op!("add_row_broadcast");
         let value = self.nodes[a.0].value.add_row_broadcast(&self.nodes[bias.0].value);
         self.push(value, Op::AddRowBroadcast(a, bias))
     }
 
     /// Elementwise product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        adamel_obs::trace_op!("mul");
         let value = self.nodes[a.0].value.mul(&self.nodes[b.0].value);
         self.push(value, Op::Mul(a, b))
     }
 
     /// Scales row `i` of `a` by element `i` of the `n x 1` node `col`.
     pub fn mul_col_broadcast(&mut self, a: Var, col: Var) -> Var {
+        adamel_obs::trace_op!("mul_col_broadcast");
         let value = self.nodes[a.0].value.mul_col_broadcast(&self.nodes[col.0].value);
         self.push(value, Op::MulColBroadcast(a, col))
     }
 
     /// Multiplies by a compile-time constant scalar.
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        adamel_obs::trace_op!("scale");
         let value = self.nodes[a.0].value.scale(s);
         self.push(value, Op::Scale(a, s))
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
+        adamel_obs::trace_op!("relu");
         let value = self.nodes[a.0].value.map(|v| v.max(0.0));
         self.push(value, Op::Relu(a))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
+        adamel_obs::trace_op!("tanh");
         let value = self.nodes[a.0].value.map(f32::tanh);
         self.push(value, Op::Tanh(a))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
+        adamel_obs::trace_op!("sigmoid");
         let value = self.nodes[a.0].value.map(|v| 1.0 / (1.0 + (-v).exp()));
         self.push(value, Op::Sigmoid(a))
     }
 
     /// Row-wise softmax.
     pub fn softmax_rows(&mut self, a: Var) -> Var {
+        adamel_obs::trace_op!("softmax_rows");
         let value = self.nodes[a.0].value.softmax_rows();
         self.push(value, Op::SoftmaxRows(a))
     }
 
     /// Horizontal concatenation.
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        adamel_obs::trace_op!("concat_cols");
         let values: Vec<&Matrix> = parts.iter().map(|v| &self.nodes[v.0].value).collect();
         let value = Matrix::concat_cols(&values);
         self.push(value, Op::ConcatCols(parts.to_vec()))
@@ -215,18 +226,21 @@ impl Graph {
 
     /// Copies a contiguous column window `[start, start+width)`.
     pub fn slice_cols(&mut self, a: Var, start: usize, width: usize) -> Var {
+        adamel_obs::trace_op!("slice_cols");
         let value = self.nodes[a.0].value.slice_cols(start, width);
         self.push(value, Op::SliceCols { input: a, start, width })
     }
 
     /// Mean over all elements, producing a 1x1 node.
     pub fn mean_all(&mut self, a: Var) -> Var {
+        adamel_obs::trace_op!("mean_all");
         let value = Matrix::scalar(self.nodes[a.0].value.mean());
         self.push(value, Op::MeanAll(a))
     }
 
     /// Sum over all elements, producing a 1x1 node.
     pub fn sum_all(&mut self, a: Var) -> Var {
+        adamel_obs::trace_op!("sum_all");
         let value = Matrix::scalar(self.nodes[a.0].value.sum());
         self.push(value, Op::SumAll(a))
     }
@@ -243,6 +257,7 @@ impl Graph {
         targets: Matrix,
         weights: Matrix,
     ) -> Var {
+        adamel_obs::trace_op!("weighted_bce_with_logits");
         let z = &self.nodes[logits.0].value;
         assert_eq!(z.cols(), 1, "bce_with_logits expects n x 1 logits");
         assert_eq!(z.shape(), targets.shape(), "bce targets shape mismatch");
@@ -268,6 +283,7 @@ impl Graph {
     /// a constant `1 x m` distribution and the input rows `p_i` are already
     /// normalized (e.g. softmax outputs). `eps` guards the logarithm.
     pub fn kl_const_rows(&mut self, probs: Var, target: Matrix, eps: f32) -> Var {
+        adamel_obs::trace_op!("kl_const_rows");
         let p = &self.nodes[probs.0].value;
         assert_eq!(target.rows(), 1, "kl_const_rows expects a 1 x m target");
         assert_eq!(p.cols(), target.cols(), "kl_const_rows shape mismatch");
@@ -306,6 +322,7 @@ impl Graph {
     /// The tape is consumed conceptually (gradients of interior nodes are
     /// dropped afterwards); call once per constructed graph.
     pub fn backward(&self, root: Var, params: &mut ParamSet) {
+        adamel_obs::trace_span!("backward");
         assert_eq!(
             self.nodes[root.0].value.shape(),
             (1, 1),

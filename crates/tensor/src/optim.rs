@@ -61,6 +61,7 @@ impl Default for Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut ParamSet) {
+        adamel_obs::trace_span!("adam_step");
         crate::sanitize::check_grads_finite("adam", params);
         self.ensure_state(params);
         self.t += 1;

@@ -155,6 +155,19 @@ pub fn parallel_for_row_blocks<F>(
     let blocks = rows.div_ceil(block_rows);
     let threads = plan(rows, flops_per_row).min(blocks);
 
+    if adamel_obs::enabled() {
+        adamel_obs::counter_add(
+            "parallel.flops_estimated",
+            rows.saturating_mul(flops_per_row) as u64,
+        );
+        if threads <= 1 {
+            adamel_obs::counter_add("parallel.dispatch_serial", 1);
+        } else {
+            adamel_obs::counter_add("parallel.dispatch_parallel", 1);
+            adamel_obs::record_value("parallel.workers", threads as f64);
+        }
+    }
+
     if threads <= 1 {
         let mut row = 0;
         for block in out.chunks_mut(block_rows * width) {
@@ -178,6 +191,8 @@ pub fn parallel_for_row_blocks<F>(
             let (head, tail) = rest.split_at_mut(span * width);
             rest = tail;
             let start = row0;
+            // Per-worker work share (self-gated; one atomic load when off).
+            adamel_obs::trace_value!("parallel.rows_per_worker", span as f64);
             s.spawn(move || {
                 IN_WORKER.with(|c| c.set(true));
                 let mut row = start;
@@ -200,6 +215,15 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let threads = plan(n, cost_per_item);
+    if adamel_obs::enabled() {
+        adamel_obs::counter_add("parallel.flops_estimated", n.saturating_mul(cost_per_item) as u64);
+        if threads <= 1 {
+            adamel_obs::counter_add("parallel.dispatch_serial", 1);
+        } else {
+            adamel_obs::counter_add("parallel.dispatch_parallel", 1);
+            adamel_obs::record_value("parallel.workers", threads as f64);
+        }
+    }
     if threads <= 1 {
         return (0..n).map(f).collect();
     }
@@ -215,6 +239,7 @@ where
             let (head, tail) = rest.split_at_mut(len);
             rest = tail;
             let first = start;
+            adamel_obs::trace_value!("parallel.rows_per_worker", len as f64);
             s.spawn(move || {
                 IN_WORKER.with(|c| c.set(true));
                 for (j, slot) in head.iter_mut().enumerate() {
