@@ -29,6 +29,12 @@ const THREADS: &[usize] = &[1, 2, 4, 8];
 const MATMUL_M: usize = 4096;
 const NUM_PAIRS: usize = 10_000;
 
+/// `--smoke` sizes: same schema, small enough for a CI smoke test that
+/// only checks the JSON shape, not the timings.
+const SMOKE_THREADS: &[usize] = &[1, 2];
+const SMOKE_MATMUL_M: usize = 128;
+const SMOKE_NUM_PAIRS: usize = 200;
+
 struct Row {
     kernel: &'static str,
     n: usize,
@@ -139,10 +145,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = String::from("BENCH_parallel.json");
     let mut obs_mode = false;
+    let mut smoke = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--obs" => obs_mode = true,
+            "--smoke" => smoke = true,
             "--out" => {
                 i += 1;
                 match args.get(i) {
@@ -154,12 +162,17 @@ fn main() {
                 }
             }
             other => {
-                eprintln!("perfjson: unknown argument `{other}` (expected --obs, --out <path>)");
+                eprintln!(
+                    "perfjson: unknown argument `{other}` (expected --obs, --smoke, --out <path>)"
+                );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
+    let threads: &[usize] = if smoke { SMOKE_THREADS } else { THREADS };
+    let matmul_m = if smoke { SMOKE_MATMUL_M } else { MATMUL_M };
+    let num_pairs = if smoke { SMOKE_NUM_PAIRS } else { NUM_PAIRS };
 
     // Timed benches run with tracing forced off: a `full`-level environment
     // would otherwise add per-op span recording to every measured row.
@@ -169,45 +182,45 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 
     // --- matmul kernels at paper-scale inner dims (300 -> 256) ---
-    let a = random_matrix(MATMUL_M, 300, &mut rng);
+    let a = random_matrix(matmul_m, 300, &mut rng);
     let b = random_matrix(300, 256, &mut rng);
     let b_t = random_matrix(256, 300, &mut rng);
-    let a_tall = random_matrix(MATMUL_M, 256, &mut rng);
-    for &t in THREADS {
+    let a_tall = random_matrix(matmul_m, 256, &mut rng);
+    for &t in threads {
         let ms = time_ms(3, || {
             parallel::with_threads(t, || std::hint::black_box(a.matmul(&b)));
         });
-        rows.push(Row { kernel: "matmul", n: MATMUL_M, threads: t, ms });
+        rows.push(Row { kernel: "matmul", n: matmul_m, threads: t, ms });
     }
-    for &t in THREADS {
+    for &t in threads {
         let ms = time_ms(3, || {
             parallel::with_threads(t, || std::hint::black_box(a.matmul_tn(&a_tall)));
         });
-        rows.push(Row { kernel: "matmul_tn", n: MATMUL_M, threads: t, ms });
+        rows.push(Row { kernel: "matmul_tn", n: matmul_m, threads: t, ms });
     }
-    for &t in THREADS {
+    for &t in threads {
         let ms = time_ms(3, || {
             parallel::with_threads(t, || std::hint::black_box(a.matmul_nt(&b_t)));
         });
-        rows.push(Row { kernel: "matmul_nt", n: MATMUL_M, threads: t, ms });
+        rows.push(Row { kernel: "matmul_nt", n: matmul_m, threads: t, ms });
     }
 
     // --- pair encoding and end-to-end prediction at paper dims ---
-    let (schema, pairs) = synth_pairs(NUM_PAIRS);
+    let (schema, pairs) = synth_pairs(num_pairs);
     let model = AdamelModel::new(AdamelConfig::paper(), schema);
     let extractor = model.extractor().clone();
-    for &t in THREADS {
+    for &t in threads {
         let ms = time_ms(1, || {
             parallel::with_threads(t, || std::hint::black_box(extractor.encode_pairs(&pairs)));
         });
-        rows.push(Row { kernel: "encode_pairs", n: NUM_PAIRS, threads: t, ms });
+        rows.push(Row { kernel: "encode_pairs", n: num_pairs, threads: t, ms });
     }
     let encoded = extractor.encode_pairs(&pairs);
-    for &t in THREADS {
+    for &t in threads {
         let ms = time_ms(1, || {
             parallel::with_threads(t, || std::hint::black_box(model.predict_encoded(&encoded)));
         });
-        rows.push(Row { kernel: "predict", n: NUM_PAIRS, threads: t, ms });
+        rows.push(Row { kernel: "predict", n: num_pairs, threads: t, ms });
     }
 
     // --- sanitizer overhead pair: the same single-thread prediction with
@@ -220,7 +233,7 @@ fn main() {
     });
     rows.push(Row {
         kernel: "predict_sanitize_off",
-        n: NUM_PAIRS,
+        n: num_pairs,
         threads: 1,
         ms: sanitize_off_ms,
     });
@@ -228,7 +241,7 @@ fn main() {
     let sanitize_on_ms = time_ms(3, || {
         parallel::with_threads(1, || std::hint::black_box(model.predict_encoded(&encoded)));
     });
-    rows.push(Row { kernel: "predict_sanitize_on", n: NUM_PAIRS, threads: 1, ms: sanitize_on_ms });
+    rows.push(Row { kernel: "predict_sanitize_on", n: num_pairs, threads: 1, ms: sanitize_on_ms });
     sanitize::set_forced(None);
 
     // --- trace overhead pair: the same prediction with observability off vs
@@ -237,12 +250,12 @@ fn main() {
     let trace_off_ms = time_ms(3, || {
         parallel::with_threads(1, || std::hint::black_box(model.predict_encoded(&encoded)));
     });
-    rows.push(Row { kernel: "predict_trace_off", n: NUM_PAIRS, threads: 1, ms: trace_off_ms });
+    rows.push(Row { kernel: "predict_trace_off", n: num_pairs, threads: 1, ms: trace_off_ms });
     adamel_obs::set_forced(Some(adamel_obs::TraceLevel::Full));
     let trace_full_ms = time_ms(3, || {
         parallel::with_threads(1, || std::hint::black_box(model.predict_encoded(&encoded)));
     });
-    rows.push(Row { kernel: "predict_trace_full", n: NUM_PAIRS, threads: 1, ms: trace_full_ms });
+    rows.push(Row { kernel: "predict_trace_full", n: num_pairs, threads: 1, ms: trace_full_ms });
     adamel_obs::set_forced(Some(adamel_obs::TraceLevel::Off));
 
     // --- optional instrumented exercise pass (--obs) ---

@@ -1,0 +1,43 @@
+//! Smoke test for the `perfjson` binary: `--smoke --out` must emit a JSON
+//! document that parses and carries the trace off/full overhead pair.
+
+use adamel_obs::json::Json;
+use std::process::Command;
+
+#[test]
+fn smoke_output_parses_and_has_trace_pair() {
+    let out = std::env::temp_dir().join(format!("perfjson-smoke-{}.json", std::process::id()));
+    let status = Command::new(env!("CARGO_BIN_EXE_perfjson"))
+        .arg("--smoke")
+        .arg("--out")
+        .arg(&out)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("spawn perfjson");
+    assert!(status.success(), "perfjson --smoke failed: {status:?}");
+
+    let text = std::fs::read_to_string(&out).expect("read output");
+    let _ = std::fs::remove_file(&out);
+    let doc = Json::parse(&text).expect("output is valid JSON");
+
+    // The off/full tracing overhead pair the docs point readers at.
+    let trace = doc.get("trace").expect("trace object");
+    for key in ["off_ms", "full_ms", "full_over_off"] {
+        let v = trace.get(key).and_then(Json::as_f64).expect(key);
+        assert!(v.is_finite() && v >= 0.0, "{key} = {v}");
+    }
+
+    // Sanitizer pair and host parallelism ride along.
+    assert!(doc.get("sanitize").and_then(|s| s.get("on_over_off")).is_some());
+    assert!(doc.get("host_parallelism").and_then(Json::as_u64).is_some());
+
+    // Every timing row is well-formed.
+    let rows = doc.get("rows").and_then(Json::as_array).expect("rows array");
+    assert!(!rows.is_empty());
+    for row in rows {
+        assert!(row.get("kernel").and_then(Json::as_str).is_some());
+        assert!(row.get("threads").and_then(Json::as_u64).is_some());
+        let ms = row.get("ms").and_then(Json::as_f64).expect("ms");
+        assert!(ms.is_finite() && ms >= 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! End-to-end regression gate: two identical-seed `adamel-report gen` runs
+//! must diff clean (zero metric delta, exit 0), and a perturbed run must
+//! trip the gate (exit 1). Every generated ledger must validate.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn report(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_adamel-report"))
+        .args(args)
+        .output()
+        .expect("spawn adamel-report")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("adamel-report-gate-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn identical_seeds_pass_and_perturbation_fails() {
+    let a = tmp("a.jsonl");
+    let b = tmp("b.jsonl");
+    let p = tmp("p.jsonl");
+    let (a_s, b_s, p_s) = (a.to_str().unwrap(), b.to_str().unwrap(), p.to_str().unwrap());
+
+    for (path, extra) in [(a_s, None), (b_s, None), (p_s, Some("--perturb"))] {
+        let mut args = vec!["gen", "--seed", "11", "--out", path];
+        if let Some(flag) = extra {
+            args.push(flag);
+        }
+        let out = report(&args);
+        assert!(
+            out.status.success(),
+            "gen {path} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+
+        let out = report(&["validate", path]);
+        assert!(
+            out.status.success(),
+            "validate {path} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // Identical seeds: metric deltas are exactly zero and the gate passes.
+    let out = report(&["diff", a_s, b_s]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "identical-seed diff failed:\n{stdout}");
+    assert!(stdout.contains("PASS"), "no PASS verdict:\n{stdout}");
+    let zero_deltas = stdout.matches("(delta +0.0000)").count();
+    assert!(zero_deltas >= 2, "expected zero deltas for pr_auc and best_f1:\n{stdout}");
+
+    // The undertrained run regresses both metrics: exit code 1, not 2.
+    let out = report(&["diff", a_s, p_s]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "perturbed diff should exit 1:\n{stdout}");
+    assert!(stdout.contains("REGRESSION"), "no REGRESSION marker:\n{stdout}");
+
+    // A summary renders for a valid ledger.
+    let out = report(&["summary", a_s]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("metric pr_auc"), "summary missing metrics:\n{stdout}");
+
+    for path in [a, b, p] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn diff_rejects_garbage_with_usage_exit_code() {
+    let bad = tmp("bad.jsonl");
+    std::fs::write(&bad, "not json\n").unwrap();
+    let out = report(&["validate", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = report(&["diff", bad.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_file(bad);
+}

@@ -38,7 +38,11 @@ pub fn attribute_importance(model: &AdamelModel, domain: &Domain) -> Vec<(String
         *by_attr.entry(attr).or_insert(0.0) += imp.score;
     }
     let mut out: Vec<(String, f32)> = by_attr.into_iter().collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    // total_cmp, not partial_cmp-with-Equal-fallback: softmax outputs are
+    // finite, but a NaN upstream must not silently make the ranking
+    // input-order-dependent (same defect class as the pr_curve tie fix).
+    debug_assert!(out.iter().all(|(_, s)| s.is_finite()), "non-finite attribute importance");
+    out.sort_by(|a, b| b.1.total_cmp(&a.1));
     out
 }
 
@@ -90,6 +94,47 @@ mod tests {
         for a in top.attributes() {
             assert!(!rest.attributes().contains(a));
         }
+    }
+
+    #[test]
+    fn ranking_is_invariant_under_pair_order() {
+        // Regression for the partial_cmp(..).unwrap_or(Equal) sort: a
+        // non-antisymmetric comparator made the ranking depend on input
+        // order. With total_cmp the ranking must be identical however the
+        // pairs are permuted.
+        let schema = Schema::new(vec!["artist".into(), "title".into(), "genre".into()]);
+        let model = AdamelModel::new(AdamelConfig::tiny(), schema);
+        let mut pairs = Vec::new();
+        for i in 0..6u64 {
+            let mut l = Record::new(SourceId(0), i);
+            l.set("title", "song").set("artist", "band");
+            let mut r = Record::new(SourceId(1), i);
+            r.set("title", "song").set("genre", "rock");
+            pairs.push(EntityPair::unlabeled(l, r));
+        }
+        let forward = Domain::new(pairs.clone());
+        pairs.reverse();
+        let backward = Domain::new(pairs);
+        assert_eq!(attribute_importance(&model, &forward), attribute_importance(&model, &backward));
+        assert_eq!(feature_importance(&model, &forward), feature_importance(&model, &backward));
+    }
+
+    #[test]
+    fn tied_scores_rank_deterministically() {
+        // uniform_attention forces every feature to the same score; the
+        // stable sort must then preserve the BTreeMap (alphabetical)
+        // aggregation order instead of an arbitrary one.
+        let schema = Schema::new(vec!["artist".into(), "title".into(), "genre".into()]);
+        let cfg = AdamelConfig { uniform_attention: true, ..AdamelConfig::tiny() };
+        let model = AdamelModel::new(cfg, schema);
+        let mut l = Record::new(SourceId(0), 1);
+        l.set("title", "x").set("artist", "y").set("genre", "z");
+        let mut r = Record::new(SourceId(1), 1);
+        r.set("title", "x");
+        let domain = Domain::new(vec![EntityPair::unlabeled(l, r)]);
+        let ranked = attribute_importance(&model, &domain);
+        let names: Vec<&str> = ranked.iter().map(|(a, _)| a.as_str()).collect();
+        assert_eq!(names, vec!["artist", "genre", "title"]);
     }
 
     #[test]

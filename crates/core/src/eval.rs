@@ -9,14 +9,29 @@ use adamel_schema::Domain;
 pub fn evaluate_prauc(model: &AdamelModel, test: &Domain) -> f64 {
     let scores = model.predict(&test.pairs);
     let labels: Vec<bool> = test.pairs.iter().map(|p| p.ground_truth()).collect();
-    pr_auc(&scores, &labels)
+    let value = pr_auc(&scores, &labels);
+    emit_metric("pr_auc", value, test.pairs.len());
+    value
 }
 
 /// Best-threshold F1 on a target domain (Table 7's metric).
 pub fn evaluate_f1(model: &AdamelModel, test: &Domain) -> f64 {
     let scores = model.predict(&test.pairs);
     let labels: Vec<bool> = test.pairs.iter().map(|p| p.ground_truth()).collect();
-    best_f1(&scores, &labels).0
+    let value = best_f1(&scores, &labels).0;
+    emit_metric("best_f1", value, test.pairs.len());
+    value
+}
+
+/// One `metric` ledger event per evaluation; `higher_is_better` lets
+/// `adamel-report diff` orient its regression check without a metric table.
+fn emit_metric(name: &str, value: f64, n: usize) {
+    adamel_obs::runlog::event("metric")
+        .str("name", name)
+        .num("value", value)
+        .flag("higher_is_better", true)
+        .int("pairs", n as u64)
+        .emit();
 }
 
 #[cfg(test)]

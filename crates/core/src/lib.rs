@@ -32,6 +32,7 @@
 
 pub mod attention;
 pub mod config;
+pub mod drift;
 pub mod eval;
 pub mod io;
 pub mod model;
@@ -42,6 +43,9 @@ pub use attention::{
     attribute_importance, feature_importance, top_attribute_schemas, FeatureImportance,
 };
 pub use config::{AdamelConfig, Variant};
+pub use drift::{
+    DriftBaseline, DriftMonitor, DriftSignal, DriftThresholds, DriftWarning, SourceDrift,
+};
 pub use eval::{evaluate_f1, evaluate_prauc};
 pub use io::{load_model, save_model};
 pub use model::AdamelModel;

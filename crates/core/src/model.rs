@@ -322,7 +322,11 @@ impl AdamelModel {
             .into_iter()
             .zip(mean.as_slice().iter().copied())
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // total_cmp keeps the ranking a total order even if a NaN sneaks
+        // through; the old partial_cmp fallback made it input-order
+        // dependent (same defect class as the pr_curve tie fix).
+        debug_assert!(out.iter().all(|(_, s)| s.is_finite()), "non-finite feature importance");
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
         out
     }
 }

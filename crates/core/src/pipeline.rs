@@ -92,12 +92,21 @@ impl Linker {
         drop(blocking);
         adamel_obs::trace_count!("link.candidates", pairs.len() as u64);
         if pairs.is_empty() {
+            adamel_obs::runlog::event("link")
+                .int("left_records", left.len() as u64)
+                .int("right_records", right.len() as u64)
+                .int("candidates", 0)
+                .int("scored", 0)
+                .int("matches", 0)
+                .num("threshold", f64::from(self.cfg.threshold))
+                .emit();
             return Vec::new();
         }
         let score_span = adamel_obs::span("score");
         let scores = self.model.predict(&pairs);
         drop(score_span);
         adamel_obs::trace_count!("link.pairs_scored", scores.len() as u64);
+        let scored = scores.len();
 
         let mut results: Vec<MatchResult> = pair_ids
             .into_iter()
@@ -105,7 +114,10 @@ impl Linker {
             .filter(|(_, s)| *s >= self.cfg.threshold)
             .map(|((left, right), score)| MatchResult { left, right, score })
             .collect();
-        results.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        // total_cmp for the same reason as attention.rs: sigmoid scores are
+        // finite, but the ordering must never become input-order-dependent.
+        debug_assert!(results.iter().all(|m| m.score.is_finite()), "non-finite match score");
+        results.sort_by(|a, b| b.score.total_cmp(&a.score));
 
         if self.cfg.one_to_one {
             let mut used_left = std::collections::HashSet::new();
@@ -113,6 +125,14 @@ impl Linker {
             results.retain(|m| used_left.insert(m.left) && used_right.insert(m.right));
         }
         adamel_obs::trace_count!("link.matches", results.len() as u64);
+        adamel_obs::runlog::event("link")
+            .int("left_records", left.len() as u64)
+            .int("right_records", right.len() as u64)
+            .int("candidates", pairs.len() as u64)
+            .int("scored", scored as u64)
+            .int("matches", results.len() as u64)
+            .num("threshold", f64::from(self.cfg.threshold))
+            .emit();
         results
     }
 }

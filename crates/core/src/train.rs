@@ -15,9 +15,11 @@
 //!   base and support terms before updating.
 
 use crate::config::Variant;
+use crate::drift::mean_row_entropy;
 use crate::model::AdamelModel;
+use adamel_obs::runlog;
 use adamel_schema::Domain;
-use adamel_tensor::{Adam, Graph, Matrix, Optimizer};
+use adamel_tensor::{parallel, Adam, Graph, Matrix, Optimizer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -79,10 +81,33 @@ pub fn fit(
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7ea1);
     let mut report = TrainReport { epoch_losses: Vec::with_capacity(cfg.epochs), epochs: 0 };
 
+    // Run-ledger manifest: everything needed to reproduce or compare the
+    // run. Events are pure reads of config/state — when the ledger is
+    // disabled the builder is inert and training bytes are unaffected.
+    runlog::event("manifest")
+        .str("variant", variant.name())
+        .int("seed", cfg.seed)
+        .int("epochs", cfg.epochs as u64)
+        .int("batch_size", cfg.batch_size as u64)
+        .num("learning_rate", cfg.learning_rate.into())
+        .num("lambda", cfg.lambda.into())
+        .num("phi", cfg.phi.into())
+        .int("embed_dim", cfg.embed_dim as u64)
+        .int("feature_dim", cfg.feature_dim as u64)
+        .int("attention_dim", cfg.attention_dim as u64)
+        .int("hidden_dim", cfg.hidden_dim as u64)
+        .int("features", model.extractor().num_features() as u64)
+        .int("threads", parallel::current_threads() as u64)
+        .str("trace", adamel_obs::level().name())
+        .int("train_pairs", train.len() as u64)
+        .int("target_pairs", target.map_or(0, |t| t.len()) as u64)
+        .int("support_pairs", support.map_or(0, |s| s.len()) as u64)
+        .emit();
+
     let n = train.len();
     let mut order: Vec<usize> = (0..n).collect();
 
-    for _epoch in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
         adamel_obs::trace_span!("train_epoch");
         // Algorithm 1 line 5: f̄(x') with current parameters.
         let target_mean = target_enc.as_ref().map(|enc| model.attention_encoded(enc).mean_rows());
@@ -93,17 +118,18 @@ pub fn fit(
 
         // Support weights are recomputed per epoch with the current f
         // (Algorithms 2–3 line 10).
+        let telemetry = adamel_obs::enabled() || runlog::enabled();
+        let mut support_stats: Option<(f64, f64, f64)> = None;
         let support_batch = match (&support_enc, &support_labels) {
             (Some(enc), Some(labels)) => {
                 let weights = support_weights(model, &train_enc, &train_labels, enc, labels);
-                if adamel_obs::enabled() && !weights.is_empty() {
+                if telemetry && !weights.is_empty() {
                     let sum: f64 = weights.iter().map(|&w| f64::from(w)).sum();
                     let min = weights.iter().copied().fold(f32::INFINITY, f32::min);
                     let max = weights.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                    adamel_obs::record_value(
-                        "train.support_weight_mean",
-                        sum / weights.len() as f64,
-                    );
+                    let mean = sum / weights.len() as f64;
+                    support_stats = Some((mean, f64::from(min), f64::from(max)));
+                    adamel_obs::record_value("train.support_weight_mean", mean);
                     adamel_obs::record_value("train.support_weight_min", f64::from(min));
                     adamel_obs::record_value("train.support_weight_max", f64::from(max));
                 }
@@ -120,6 +146,7 @@ pub fn fit(
         // values records no tape ops, so the graph is byte-identical with
         // tracing on or off.
         let (mut epoch_base, mut epoch_kl, mut epoch_support) = (0.0f64, 0.0f64, 0.0f64);
+        let (mut entropy_sum, mut entropy_rows) = (0.0f64, 0usize);
         for chunk in order.chunks(cfg.batch_size.max(1)) {
             let batch_enc = train_enc.select_rows(chunk);
             let batch_y =
@@ -127,6 +154,12 @@ pub fn fit(
 
             let mut g = Graph::new();
             let nodes = model.forward(&mut g, batch_enc);
+            if telemetry {
+                // Entropy of g(x) per batch — a value read, no tape ops.
+                let att = g.value(nodes.attention);
+                entropy_sum += mean_row_entropy(att) * att.rows() as f64;
+                entropy_rows += att.rows();
+            }
             let base = g.bce_with_logits(nodes.logits, batch_y);
             epoch_base += f64::from(g.value(base).item());
             let mut loss = match &target_mean {
@@ -180,6 +213,28 @@ pub fn fit(
             adamel_obs::trace_value!("train.loss_support", epoch_support);
         }
         adamel_obs::trace_value!("train.loss_epoch", epoch_loss as f64 / denom);
+        let mean_entropy = if entropy_rows == 0 { 0.0 } else { entropy_sum / entropy_rows as f64 };
+        adamel_obs::trace_value!("train.attention_entropy", mean_entropy);
+        if runlog::enabled() {
+            let mut ev = runlog::event("epoch")
+                .int("epoch", epoch as u64)
+                .num("loss", f64::from(epoch_loss) / denom)
+                .num("l_base", epoch_base / denom)
+                .num("attention_entropy", mean_entropy);
+            if target_mean.is_some() {
+                ev = ev.num("l_kl", epoch_kl / denom);
+            }
+            if support_batch.is_some() {
+                ev = ev.num("l_support", epoch_support);
+            }
+            if let Some((mean, min, max)) = support_stats {
+                ev = ev
+                    .num("support_weight_mean", mean)
+                    .num("support_weight_min", min)
+                    .num("support_weight_max", max);
+            }
+            ev.emit();
+        }
         report.epoch_losses.push(epoch_loss / batches.max(1) as f32);
         report.epochs += 1;
     }

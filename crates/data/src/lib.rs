@@ -35,7 +35,7 @@ pub mod style;
 pub use benchmark::{benchmark_specs, generate_benchmark, BenchmarkData, BenchmarkSpec};
 pub use di2kg::Di2kgCorpus;
 pub use incremental::{monitor_incremental, IncrementalStep, IncrementalStream};
-pub use monitor::{MonitorConfig, MonitorWorld};
+pub use monitor::{degrade_pairs, MonitorConfig, MonitorWorld};
 pub use music::{EntityType, MusicConfig, MusicWorld};
 pub use sampling::PairSampler;
 pub use splits::{make_mel_split, weaken_labels, MelSplit, Scenario, SplitCounts};

@@ -16,7 +16,7 @@
 
 use crate::names;
 use crate::style::SourceStyle;
-use adamel_schema::{Record, Schema, SourceId};
+use adamel_schema::{EntityPair, Record, Schema, SourceId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -301,6 +301,33 @@ pub fn render_monitor(
     r
 }
 
+/// Degrades pairs by dropping each present attribute value with probability
+/// `extra_missing` — a deterministic C1 drift fixture. Feeding the output to
+/// a drift monitor whose baseline was built on the originals raises the
+/// missing-attribute rate without touching vocabulary (C3) or introducing
+/// new attributes (C2), so exactly the C1 signal should fire.
+pub fn degrade_pairs(pairs: &[EntityPair], extra_missing: f64, seed: u64) -> Vec<EntityPair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut drop_values = |r: &Record| -> Record {
+        let mut out = Record::new(r.source, r.entity_id);
+        // BTreeMap iteration order keeps the RNG stream deterministic.
+        for (attr, value) in &r.values {
+            if !rng.gen_bool(extra_missing) {
+                out.set(attr.clone(), value.clone());
+            }
+        }
+        out
+    };
+    pairs
+        .iter()
+        .map(|p| EntityPair {
+            left: drop_values(&p.left),
+            right: drop_values(&p.right),
+            label: p.label,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +403,36 @@ mod tests {
         let w = world();
         assert_eq!(w.seen_sources().len() + w.unseen_sources().len(), w.all_sources().len());
         assert_eq!(w.schema().len(), 13);
+    }
+
+    #[test]
+    fn degrade_pairs_is_deterministic_and_only_removes_values() {
+        let w = world();
+        let records = w.records_for(Some(&w.seen_sources()));
+        let pairs: Vec<EntityPair> = records
+            .windows(2)
+            .map(|p| EntityPair::labeled(p[0].clone(), p[1].clone(), true))
+            .collect();
+        let a = degrade_pairs(&pairs, 0.5, 9);
+        let b = degrade_pairs(&pairs, 0.5, 9);
+        assert_eq!(a.len(), pairs.len());
+        for (da, db) in a.iter().zip(&b) {
+            assert_eq!(da.left.values, db.left.values, "nondeterministic degradation");
+            assert_eq!(da.right.values, db.right.values);
+        }
+        let present = |ps: &[EntityPair]| -> usize {
+            ps.iter().map(|p| p.left.values.len() + p.right.values.len()).sum()
+        };
+        assert!(present(&a) < present(&pairs), "degradation removed nothing");
+        for (orig, deg) in pairs.iter().zip(&a) {
+            assert_eq!(orig.label, deg.label);
+            for (attr, value) in &deg.left.values {
+                assert_eq!(orig.left.values.get(attr), Some(value), "degradation altered a value");
+            }
+        }
+        // Zero extra rate must be the identity.
+        let id = degrade_pairs(&pairs, 0.0, 9);
+        assert_eq!(present(&id), present(&pairs));
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Calibration: expected calibration error over equal-width score bins.
+//!
+//! A well-calibrated matcher's score is a probability: among pairs scored
+//! ~0.8, about 80% should be true matches. Under distribution shift the
+//! classifier head often stays discriminative (PR-AUC holds up) while its
+//! scores drift away from probabilities — exactly the C3 failure mode the
+//! drift monitors watch for — so the monitors pair each per-source score
+//! histogram with this ECE summary.
+
+/// Expected calibration error of match scores against boolean labels,
+/// using `bins` equal-width bins over `[0, 1]`.
+///
+/// ECE = Σ_b (n_b / N) · |accuracy_b − mean_score_b|, the standard
+/// binned estimator (Naeini et al., AAAI 2015). Scores are clamped into
+/// `[0, 1]`; non-finite scores count as 0. Returns 0 for empty input.
+/// `scores` and `labels` must have equal length (debug-asserted; the
+/// shorter length wins in release).
+///
+/// # Examples
+///
+/// ```
+/// use adamel_metrics::ece;
+///
+/// // Perfectly calibrated corners: score 1 on matches, 0 on non-matches.
+/// let e = ece(&[1.0, 1.0, 0.0], &[true, true, false], 10);
+/// assert!(e < 1e-9);
+///
+/// // Maximally mis-calibrated: confident and always wrong.
+/// let e = ece(&[1.0, 1.0, 0.0], &[false, false, true], 10);
+/// assert!(e > 0.99);
+/// ```
+pub fn ece(scores: &[f32], labels: &[bool], bins: usize) -> f64 {
+    debug_assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n = scores.len().min(labels.len());
+    let bins = bins.max(1);
+    if n == 0 {
+        return 0.0;
+    }
+    // Per-bin: count, summed score (confidence), positive count (accuracy
+    // against label=true, since "predicted class" here is always "match"
+    // scored by its probability).
+    let mut count = vec![0u64; bins];
+    let mut conf = vec![0f64; bins];
+    let mut pos = vec![0u64; bins];
+    for i in 0..n {
+        let s = if scores[i].is_finite() { f64::from(scores[i]).clamp(0.0, 1.0) } else { 0.0 };
+        let b = ((s * bins as f64) as usize).min(bins - 1);
+        count[b] += 1;
+        conf[b] += s;
+        if labels[i] {
+            pos[b] += 1;
+        }
+    }
+    let mut e = 0.0;
+    for b in 0..bins {
+        if count[b] == 0 {
+            continue;
+        }
+        let cb = count[b] as f64;
+        let acc = pos[b] as f64 / cb;
+        let avg_conf = conf[b] / cb;
+        e += (cb / n as f64) * (acc - avg_conf).abs();
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(ece(&[], &[], 10), 0.0);
+    }
+
+    #[test]
+    fn perfectly_calibrated_mixed_bin() {
+        // All scores 0.5, half the labels positive: |0.5 - 0.5| = 0.
+        let scores = [0.5f32; 10];
+        let labels: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        assert!(ece(&scores, &labels, 10) < 1e-9);
+    }
+
+    #[test]
+    fn overconfidence_is_measured() {
+        // Scores 0.9 but only 50% accurate: ECE ≈ 0.4.
+        let scores = [0.9f32; 10];
+        let labels: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let e = ece(&scores, &labels, 10);
+        assert!((e - 0.4).abs() < 1e-6, "got {e}");
+    }
+
+    #[test]
+    fn bins_partition_weighting() {
+        // Two bins, equal mass: one perfect (score 1.0 / all true), one
+        // off by 0.25 (score 0.25 / none true). ECE = 0.5*0 + 0.5*0.25.
+        let scores = [1.0f32, 1.0, 0.25, 0.25];
+        let labels = [true, true, false, false];
+        let e = ece(&scores, &labels, 2);
+        assert!((e - 0.125).abs() < 1e-6, "got {e}");
+    }
+
+    #[test]
+    fn score_one_lands_in_last_bin() {
+        // Score exactly 1.0 must not index out of range.
+        let e = ece(&[1.0], &[true], 4);
+        assert!(e < 1e-9);
+    }
+
+    #[test]
+    fn nonfinite_scores_count_as_zero() {
+        let e = ece(&[f32::NAN], &[false], 4);
+        assert!(e < 1e-9, "NaN→0 score with negative label is calibrated");
+        let e = ece(&[f32::INFINITY], &[true], 4);
+        assert!((e - 1.0).abs() < 1e-6, "inf→0 score with positive label");
+    }
+
+    #[test]
+    fn zero_bins_is_clamped_to_one() {
+        let e = ece(&[0.3, 0.7], &[false, true], 0);
+        assert!((e - 0.0).abs() < 1e-6, "single bin: mean conf 0.5, acc 0.5");
+    }
+}

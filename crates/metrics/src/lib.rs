@@ -3,18 +3,20 @@
 //! Evaluation for the AdaMEL reproduction: sklearn-compatible
 //! average-precision PRAUC (the paper's headline metric), thresholded
 //! precision/recall/F1 (Table 7), mean ± std aggregation over seeded runs,
-//! and an exact t-SNE implementation for the attention-space visualizations
-//! of Fig. 7.
+//! expected calibration error for the drift monitors, and an exact t-SNE
+//! implementation for the attention-space visualizations of Fig. 7.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod calibration;
 pub mod classify;
 pub mod prauc;
 pub mod tsne;
 
 pub use aggregate::{repeat_runs, RunStats};
+pub use calibration::ece;
 pub use classify::{best_f1, Confusion};
 pub use prauc::{pr_auc, pr_curve, PrPoint};
 pub use tsne::{separation_ratio, tsne, TsneConfig};

@@ -226,6 +226,84 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Median ([`quantile`](Self::quantile) at 0.5), or `None` if empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let mut h = adamel_obs::Histogram::new();
+    /// for _ in 0..10 {
+    ///     h.record(8); // bucket [8, 16)
+    /// }
+    /// assert_eq!(h.p50(), Some(8)); // hi 16 clamps to observed max 8
+    /// ```
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// 90th percentile ([`quantile`](Self::quantile) at 0.9), or `None`
+    /// if empty.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.9)
+    }
+
+    /// 99th percentile ([`quantile`](Self::quantile) at 0.99), or `None`
+    /// if empty.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Reconstructs a histogram from serialized `(lo, hi, count)` triples
+    /// as produced by [`nonzero_buckets`](Self::nonzero_buckets) (and the
+    /// JSON report's `buckets` arrays). This is how `adamel-report` reuses
+    /// the quantile accessors on a parsed report.
+    ///
+    /// The exact per-sample stats are gone after serialization, so they
+    /// are approximated from bucket bounds: `min` is the first non-empty
+    /// bucket's `lo`, `max` the last one's `hi - 1`, and `sum` uses bucket
+    /// midpoints. Counts and therefore quantile *buckets* are exact;
+    /// quantile values keep the usual at-most-2x bucket resolution.
+    /// Triples whose `lo` does not match a bucket boundary are ignored.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let mut h = adamel_obs::Histogram::new();
+    /// for v in [1u64, 1, 1, 900] {
+    ///     h.record(v);
+    /// }
+    /// let rebuilt = adamel_obs::Histogram::from_buckets(&h.nonzero_buckets());
+    /// assert_eq!(rebuilt.count(), 4);
+    /// assert_eq!(rebuilt.p50(), Some(2)); // same bucket resolution
+    /// assert_eq!(rebuilt.nonzero_buckets(), h.nonzero_buckets());
+    /// ```
+    pub fn from_buckets(buckets: &[(u64, u64, u64)]) -> Self {
+        let mut h = Histogram::new();
+        for &(lo, _, count) in buckets {
+            if count == 0 {
+                continue;
+            }
+            let i = Self::bucket_index(lo);
+            let (blo, bhi) = Self::bucket_range(i);
+            if blo != lo {
+                continue; // not a bucket boundary: skip rather than misfile
+            }
+            h.counts[i] += count;
+            h.count += count;
+            // Midpoint approximation for the lost per-sample sum.
+            let mid = blo + (bhi.saturating_sub(blo)) / 2;
+            h.sum = h.sum.saturating_add(mid.saturating_mul(count));
+            if blo < h.min {
+                h.min = blo;
+            }
+            let hi_inclusive = bhi.saturating_sub(1);
+            if hi_inclusive > h.max {
+                h.max = hi_inclusive;
+            }
+        }
+        h
+    }
+
     /// Non-empty buckets as `(lo, hi, count)` triples, in value order.
     /// This is what the JSON report serializes — empty buckets cost zero
     /// bytes on the wire.
@@ -347,6 +425,80 @@ mod tests {
         assert_eq!(a.min(), all.min());
         assert_eq!(a.max(), all.max());
         assert_eq!(a.nonzero_buckets(), all.nonzero_buckets());
+    }
+
+    #[test]
+    fn quantile_accessors_on_exact_bucket_edges() {
+        // All mass exactly on a power-of-two edge: [8, 16) bucket.
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(8);
+        }
+        // hi is 16 but every accessor clamps to the observed max.
+        assert_eq!(h.p50(), Some(8));
+        assert_eq!(h.p90(), Some(8));
+        assert_eq!(h.p99(), Some(8));
+
+        // Mass split across edges 1 (bucket [1,2)) and 64 (bucket [64,128)).
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..9 {
+            h.record(64);
+        }
+        h.record(16384);
+        // rank(p50)=50 and rank(p90)=90 both land in [1,2): upper bound 2.
+        assert_eq!(h.p50(), Some(2));
+        assert_eq!(h.p90(), Some(2));
+        // rank(p99)=99 lands in [64,128): upper bound 128.
+        assert_eq!(h.p99(), Some(128));
+
+        // One-below-the-edge stays in the previous bucket.
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(7); // bucket [4, 8), hi 8 clamps to max 7
+        }
+        assert_eq!(h.p50(), Some(7));
+        assert_eq!(h.p99(), Some(7));
+    }
+
+    #[test]
+    fn accessors_empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p90(), None);
+        assert_eq!(h.p99(), None);
+    }
+
+    #[test]
+    fn from_buckets_round_trips_counts_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 3, 100, 100, 100, 5000, u64::MAX] {
+            h.record(v);
+        }
+        let rebuilt = Histogram::from_buckets(&h.nonzero_buckets());
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.nonzero_buckets(), h.nonzero_buckets());
+        // Quantiles agree up to the max-clamp (exact max is lost on the
+        // wire, so the rebuilt value may sit at the bucket bound instead).
+        for q in [0.5, 0.9, 0.99] {
+            let orig = h.quantile(q).expect("non-empty");
+            let re = rebuilt.quantile(q).expect("non-empty");
+            let i = Histogram::bucket_index(orig);
+            let (lo, hi) = Histogram::bucket_range(i);
+            assert!(re >= lo && (re <= hi || i == BUCKETS - 1), "q={q}: {re} vs {orig}");
+        }
+    }
+
+    #[test]
+    fn from_buckets_skips_malformed_and_empty_triples() {
+        // lo=3 is not a bucket boundary; count=0 contributes nothing.
+        let h = Histogram::from_buckets(&[(3, 4, 5), (4, 8, 0), (8, 16, 2)]);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.nonzero_buckets(), vec![(8, 16, 2)]);
+        assert_eq!(h.min(), Some(8));
+        assert_eq!(h.max(), Some(15));
     }
 
     #[test]

@@ -3,7 +3,11 @@
 //! Std-only observability for the AdaMEL workspace: hierarchical span
 //! timers, counters, value statistics, and log2-bucket latency histograms,
 //! aggregated process-wide and exportable as one schema-versioned JSON
-//! report (see [`report`]).
+//! report (see [`report`]) — plus a schema-versioned JSONL *run ledger*
+//! ([`runlog`], gated by `ADAMEL_RUNLOG=<path>`) recording what the model
+//! did (manifest, per-epoch losses, drift warnings, metrics) rather than
+//! where the time went, and a minimal JSON parser ([`json`]) so the
+//! `adamel-report` tooling can read both back.
 //!
 //! The paper's ablations (PVLDB 14(1), §5) hinge on *per-component*
 //! measurements — encoding (Eq. 3–4), attention (Eq. 5–6), classifier
@@ -62,7 +66,9 @@ mod level;
 mod registry;
 mod span;
 
+pub mod json;
 pub mod report;
+pub mod runlog;
 
 pub use hist::Histogram;
 pub use level::{enabled, level, set_forced, TraceLevel};

@@ -16,7 +16,8 @@
 //!   "spans": {
 //!     "predict/forward": {
 //!       "count": 4, "total_ms": 1.5, "mean_ns": 375000,
-//!       "min_ns": 10, "max_ns": 900000, "p50_ns": 131072, "p99_ns": 900000,
+//!       "min_ns": 10, "max_ns": 900000,
+//!       "p50_ns": 131072, "p90_ns": 900000, "p99_ns": 900000,
 //!       "buckets": [[65536, 131072, 3], [524288, 1048576, 1]]
 //!     }
 //!   },
@@ -35,6 +36,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::hist::Histogram;
+use crate::json::{escape, fmt_f64 as json_f64};
 use crate::level::level;
 use crate::registry;
 use crate::span::spans_entered;
@@ -42,50 +44,20 @@ use crate::span::spans_entered;
 /// Report schema identifier embedded in every export.
 pub const SCHEMA: &str = "adamel-obs/v1";
 
-/// Escapes a string for embedding in a JSON string literal. Span paths
-/// and metric names are ASCII identifiers in practice, but the report
-/// must never emit invalid JSON regardless of input.
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Formats an `f64` for JSON: finite values print as-is (Rust's shortest
-/// round-trip repr), non-finite values become `null` (JSON has no NaN).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
 fn span_json(h: &Histogram) -> String {
     let mut s = String::new();
     let total_ms = h.sum() as f64 / 1e6;
     let _ = write!(
         s,
-        "{{\"count\": {}, \"total_ms\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"buckets\": [",
+        "{{\"count\": {}, \"total_ms\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"buckets\": [",
         h.count(),
         json_f64(total_ms),
         json_f64(h.mean().unwrap_or(0.0)),
         h.min().unwrap_or(0),
         h.max().unwrap_or(0),
-        h.quantile(0.5).unwrap_or(0),
-        h.quantile(0.99).unwrap_or(0),
+        h.p50().unwrap_or(0),
+        h.p90().unwrap_or(0),
+        h.p99().unwrap_or(0),
     );
     for (i, (lo, hi, count)) in h.nonzero_buckets().iter().enumerate() {
         if i > 0 {
