@@ -16,8 +16,14 @@
 //! * `diff A B [--threshold T]` — compare two ledgers. Metric deltas gate
 //!   (exit 1 when a metric regresses by more than `T`, default 0.02); drift
 //!   warning counts and span times are reported informationally.
+//! * `validate-bench PATH` — gate a `perfjson` BENCH JSON on the
+//!   encoding-cache contract: `encode_pairs_cold` / `encode_pairs` /
+//!   `encode_pairs_cached` rows present with finite timings, warm-phase
+//!   hit-rate ≥ 0.99, non-empty cache contents, and the cached path no
+//!   slower than cold.
 //!
-//! Exit codes: 0 ok, 1 metric regression (diff), 2 usage / IO / parse error.
+//! Exit codes: 0 ok, 1 gate failure (diff regression / bench contract
+//! violation), 2 usage / IO / parse error.
 
 use adamel::drift::{DriftBaseline, DriftMonitor};
 use adamel::{evaluate_f1, evaluate_prauc, fit, AdamelConfig, AdamelModel, Variant};
@@ -36,7 +42,8 @@ fn usage() -> ExitCode {
          \x20 adamel-report gen --out PATH [--seed N] [--epochs N] [--perturb]\n\
          \x20 adamel-report validate PATH\n\
          \x20 adamel-report summary PATH\n\
-         \x20 adamel-report diff A B [--threshold T]"
+         \x20 adamel-report diff A B [--threshold T]\n\
+         \x20 adamel-report validate-bench PATH"
     );
     ExitCode::from(2)
 }
@@ -48,6 +55,7 @@ fn main() -> ExitCode {
         Some("validate") => cmd_validate(&args[1..]),
         Some("summary") => cmd_summary(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("validate-bench") => cmd_validate_bench(&args[1..]),
         _ => usage(),
     }
 }
@@ -353,6 +361,97 @@ fn cmd_summary(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+// ----------------------------------------------------- validate-bench ----
+
+/// Gates a `perfjson` BENCH JSON on the encoding-cache contract, so a cache
+/// regression (cold-path timings on the warm rows, a broken hit path, an
+/// empty cache) fails CI even when the absolute timings still "look fast"
+/// on a beefy runner.
+fn cmd_validate_bench(args: &[String]) -> ExitCode {
+    let [path] = args else { return usage() };
+    let doc = match std::fs::read_to_string(path)
+        .map_err(|e| format!("{path}: {e}"))
+        .and_then(|t| Json::parse(&t).map_err(|e| format!("{path}: {e}")))
+    {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("adamel-report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failures: Vec<String> = Vec::new();
+
+    // Best (minimum) timing per kernel across thread counts.
+    let mut best: BTreeMap<String, f64> = BTreeMap::new();
+    match doc.get("rows").and_then(Json::as_array) {
+        Some(rows) => {
+            for r in rows {
+                let (Some(kernel), Some(ms)) =
+                    (r.get("kernel").and_then(Json::as_str), r.get("ms").and_then(Json::as_f64))
+                else {
+                    failures.push("row missing kernel/ms".into());
+                    continue;
+                };
+                if !ms.is_finite() || ms < 0.0 {
+                    failures.push(format!("{kernel}: bad ms {ms}"));
+                    continue;
+                }
+                let e = best.entry(kernel.to_string()).or_insert(f64::INFINITY);
+                *e = e.min(ms);
+            }
+        }
+        None => failures.push("missing rows array".into()),
+    }
+    for kernel in ["encode_pairs_cold", "encode_pairs", "encode_pairs_cached"] {
+        if !best.contains_key(kernel) {
+            failures.push(format!("missing {kernel} row"));
+        }
+    }
+    if let (Some(&cold), Some(&cached)) =
+        (best.get("encode_pairs_cold"), best.get("encode_pairs_cached"))
+    {
+        // The warm path must never cost more than the cold one; 10% headroom
+        // absorbs timer jitter on tiny --smoke workloads.
+        if cached > cold * 1.10 {
+            failures
+                .push(format!("cached encode ({cached:.3} ms) slower than cold ({cold:.3} ms)"));
+        }
+    }
+    match doc.get("cache") {
+        Some(c) => {
+            let num = |k: &str| c.get(k).and_then(Json::as_f64);
+            match num("hit_rate") {
+                Some(r) if r >= 0.99 => {}
+                Some(r) => failures.push(format!("warm-phase hit_rate {r} below 0.99")),
+                None => failures.push("cache.hit_rate missing".into()),
+            }
+            for key in ["distinct_records", "interned_tokens"] {
+                match num(key) {
+                    Some(v) if v >= 1.0 => {}
+                    _ => failures.push(format!("cache.{key} missing or zero")),
+                }
+            }
+        }
+        None => failures.push("missing cache section".into()),
+    }
+
+    if failures.is_empty() {
+        let show = |k: &str| best.get(k).copied().unwrap_or(f64::NAN);
+        println!(
+            "{path}: bench cache contract ok (cold {:.3} ms, warm {:.3} ms, cached {:.3} ms)",
+            show("encode_pairs_cold"),
+            show("encode_pairs"),
+            show("encode_pairs_cached"),
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("adamel-report: {path}: {f}");
+        }
+        ExitCode::FAILURE
+    }
 }
 
 // -------------------------------------------------------------- diff ----

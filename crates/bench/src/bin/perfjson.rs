@@ -1,6 +1,10 @@
 //! Emits `BENCH_parallel.json` (or `--out <path>`): serial-vs-parallel
 //! timings for the matmul kernels, batch pair encoding, and end-to-end
-//! prediction at 1/2/4/8 worker threads.
+//! prediction at 1/2/4/8 worker threads. Pair encoding is measured three
+//! ways — `encode_pairs_cold` (record-level cache dropped before every
+//! run), `encode_pairs` (the headline warm row), and `encode_pairs_cached`
+//! (explicit warm phase whose hit/miss deltas feed the `"cache"` section:
+//! hit-rate, distinct-record count, interned-token count).
 //!
 //! Thread counts are forced with [`parallel::with_threads`], which also
 //! bypasses the serial-fallback FLOP threshold, so every row measures the
@@ -209,12 +213,43 @@ fn main() {
     let (schema, pairs) = synth_pairs(num_pairs);
     let model = AdamelModel::new(AdamelConfig::paper(), schema);
     let extractor = model.extractor().clone();
+    // Cold: the record-level cache is dropped before every run, so each
+    // measurement pays full tokenize/hash/embed for every distinct record.
+    for &t in threads {
+        let ms = time_ms(1, || {
+            extractor.clear_cache();
+            parallel::with_threads(t, || std::hint::black_box(extractor.encode_pairs(&pairs)));
+        });
+        rows.push(Row { kernel: "encode_pairs_cold", n: num_pairs, threads: t, ms });
+    }
+    // Warm the cache once, then measure the pure cached path. The headline
+    // `encode_pairs` row also measures warm (time_ms warms up before
+    // timing), keeping it comparable across pre/post-cache revisions.
+    extractor.clear_cache();
+    std::hint::black_box(extractor.encode_pairs(&pairs));
     for &t in threads {
         let ms = time_ms(1, || {
             parallel::with_threads(t, || std::hint::black_box(extractor.encode_pairs(&pairs)));
         });
         rows.push(Row { kernel: "encode_pairs", n: num_pairs, threads: t, ms });
     }
+    // Stats deltas around the cached phase give the report's hit-rate: with
+    // a working cache every record reference here is a hit (rate 1.0).
+    let cache_before = extractor.cache_stats();
+    for &t in threads {
+        let ms = time_ms(1, || {
+            parallel::with_threads(t, || std::hint::black_box(extractor.encode_pairs(&pairs)));
+        });
+        rows.push(Row { kernel: "encode_pairs_cached", n: num_pairs, threads: t, ms });
+    }
+    let cache_after = extractor.cache_stats();
+    let warm_hits = cache_after.hits - cache_before.hits;
+    let warm_misses = cache_after.misses - cache_before.misses;
+    let warm_hit_rate = if warm_hits + warm_misses == 0 {
+        0.0
+    } else {
+        warm_hits as f64 / (warm_hits + warm_misses) as f64
+    };
     let encoded = extractor.encode_pairs(&pairs);
     for &t in threads {
         let ms = time_ms(1, || {
@@ -290,6 +325,14 @@ fn main() {
         trace_off_ms,
         trace_full_ms,
         if trace_off_ms > 0.0 { trace_full_ms / trace_off_ms } else { 1.0 }
+    ));
+    out.push_str(&format!(
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}, \"distinct_records\": {}, \"interned_tokens\": {}}},\n",
+        warm_hits,
+        warm_misses,
+        warm_hit_rate,
+        cache_after.distinct_records,
+        cache_after.interned_tokens
     ));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {

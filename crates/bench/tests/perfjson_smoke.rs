@@ -40,4 +40,61 @@ fn smoke_output_parses_and_has_trace_pair() {
         let ms = row.get("ms").and_then(Json::as_f64).expect("ms");
         assert!(ms.is_finite() && ms >= 0.0);
     }
+
+    // The encoding-cache triple: cold (cleared per run), headline warm, and
+    // the explicit cached phase.
+    for kernel in ["encode_pairs_cold", "encode_pairs", "encode_pairs_cached"] {
+        assert!(
+            rows.iter().any(|r| r.get("kernel").and_then(Json::as_str) == Some(kernel)),
+            "missing {kernel} row"
+        );
+    }
+
+    // The cache section: warm-phase deltas must show a pure-hit phase over
+    // non-trivial contents (this is deterministic, not a timing property).
+    let cache = doc.get("cache").expect("cache object");
+    let num = |k: &str| cache.get(k).and_then(Json::as_f64).expect(k);
+    assert!(num("hit_rate") >= 0.99, "warm-phase hit_rate {}", num("hit_rate"));
+    assert!(num("misses") == 0.0, "warm-phase misses {}", num("misses"));
+    assert!(num("distinct_records") >= 1.0);
+    assert!(num("interned_tokens") >= 1.0);
+}
+
+/// The CI gate end-to-end: `adamel-report validate-bench` must pass the JSON
+/// `perfjson --smoke` emits, and must fail one with the cache contract
+/// broken.
+#[test]
+fn validate_bench_gates_smoke_output() {
+    let out = std::env::temp_dir().join(format!("perfjson-gate-{}.json", std::process::id()));
+    let status = Command::new(env!("CARGO_BIN_EXE_perfjson"))
+        .arg("--smoke")
+        .arg("--out")
+        .arg(&out)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("spawn perfjson");
+    assert!(status.success(), "perfjson --smoke failed: {status:?}");
+
+    let report = env!("CARGO_BIN_EXE_adamel-report");
+    let ok = Command::new(report)
+        .arg("validate-bench")
+        .arg(&out)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("spawn adamel-report");
+    assert!(ok.success(), "validate-bench rejected healthy smoke output: {ok:?}");
+
+    // Break the contract (pretend the warm phase missed) and require exit 1.
+    let text = std::fs::read_to_string(&out).expect("read output");
+    let broken = text.replacen("\"hit_rate\": 1.000", "\"hit_rate\": 0.500", 1);
+    assert_ne!(broken, text, "expected a hit_rate of 1.000 in healthy output");
+    std::fs::write(&out, &broken).expect("write broken output");
+    let bad = Command::new(report)
+        .arg("validate-bench")
+        .arg(&out)
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("spawn adamel-report");
+    let _ = std::fs::remove_file(&out);
+    assert_eq!(bad.code(), Some(1), "validate-bench must fail a broken cache contract");
 }

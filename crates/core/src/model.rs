@@ -113,6 +113,20 @@ impl AdamelModel {
         self.extractor.encode_pairs(pairs)
     }
 
+    /// Statistics of the extractor's record-level encoding cache: distinct
+    /// records memoized, interned vocabulary size, and lookup hit/miss
+    /// counts across everything this model has encoded (training, support,
+    /// target, and inference batches all share the cache).
+    pub fn encode_cache_stats(&self) -> adamel_schema::EncodeCacheStats {
+        self.extractor.cache_stats()
+    }
+
+    /// Drops the extractor's record-level encoding cache — use to bound
+    /// memory when a model is reused across unrelated corpora.
+    pub fn clear_encode_cache(&self) {
+        self.extractor.clear_cache()
+    }
+
     /// Estimated forward FLOPs per encoded row — the paper's §4.5
     /// `O(FDH + HH' + FH'H_hidden)` cost, used to plan inference dispatch.
     fn per_row_flops(&self) -> usize {

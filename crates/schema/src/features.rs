@@ -6,11 +6,19 @@
 //! and the missing-value case is embedded as the embedder's fixed normalized
 //! non-zero vector, so every pair becomes a dense `F x D` block with
 //! `F = 2|A|`.
+//!
+//! Encoding is served from a record-level cache ([`crate::encode_cache`]):
+//! per-record tokenization, hashing, and embedding happen once per distinct
+//! record, and the pair path combines cached data bit-identically to the
+//! uncached reference (kept as
+//! [`encode_pair_uncached`](FeatureExtractor::encode_pair_uncached)).
 
+use crate::encode_cache::{EncodeCache, EncodeCacheStats};
 use crate::pair::EntityPair;
-use crate::record::Schema;
+use crate::record::{Record, Schema};
 use adamel_tensor::{parallel, Matrix};
 use adamel_text::{shared_and_unique, tokenize_cropped, HashedFastText};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Which contrastive features to extract — the Table 6 ablation axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,12 +42,30 @@ impl FeatureMode {
 }
 
 /// Turns aligned entity pairs into dense token-embedding features.
-#[derive(Debug, Clone)]
+///
+/// Thread-safe: the interior encoding cache is mutex-guarded, and batch
+/// encoding takes the lock once per batch, not per pair. Cloning snapshots
+/// the cache (the clone starts with the same memoized records but its own
+/// lock and counters).
+#[derive(Debug)]
 pub struct FeatureExtractor {
     schema: Schema,
     embedder: HashedFastText,
     crop: usize,
     mode: FeatureMode,
+    cache: Mutex<EncodeCache>,
+}
+
+impl Clone for FeatureExtractor {
+    fn clone(&self) -> Self {
+        Self {
+            schema: self.schema.clone(),
+            embedder: self.embedder.clone(),
+            crop: self.crop,
+            mode: self.mode,
+            cache: Mutex::new(self.lock_cache().clone()),
+        }
+    }
 }
 
 impl FeatureExtractor {
@@ -47,7 +73,8 @@ impl FeatureExtractor {
     /// interface: `crop` is the token cropping size (paper uses 20).
     pub fn new(schema: Schema, embedder: HashedFastText, crop: usize, mode: FeatureMode) -> Self {
         assert!(!schema.is_empty(), "FeatureExtractor requires a non-empty schema");
-        Self { schema, embedder, crop, mode }
+        let cache = Mutex::new(EncodeCache::new(embedder.clone(), crop, schema.len()));
+        Self { schema, embedder, crop, mode, cache }
     }
 
     /// The aligned schema features are extracted against.
@@ -88,6 +115,27 @@ impl FeatureExtractor {
         names
     }
 
+    /// Locks the encoding cache, recovering from a poisoned lock: the cache
+    /// holds only memoized pure-function results, so a panic mid-update in
+    /// another thread cannot leave observably wrong data (`ensure_slots`
+    /// registers a slot only after its key is inserted; a torn build is
+    /// rebuilt-or-reused by content key, never mixed).
+    fn lock_cache(&self) -> MutexGuard<'_, EncodeCache> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Drops every memoized record encoding, the interned vocabulary, and
+    /// the hit/miss counters — a full cold start, used to bound memory
+    /// between corpora and by the cold-path benchmarks.
+    pub fn clear_cache(&self) {
+        self.lock_cache().clear();
+    }
+
+    /// Current encoding-cache statistics.
+    pub fn cache_stats(&self) -> EncodeCacheStats {
+        self.lock_cache().stats()
+    }
+
     /// Encodes one pair as a `1 x (F*D)` row: the concatenation of the `F`
     /// per-feature summed token embeddings `h_j` (Eq. 3).
     pub fn encode_pair(&self, pair: &EntityPair) -> Matrix {
@@ -97,55 +145,77 @@ impl FeatureExtractor {
     }
 
     /// Encodes one pair directly into a caller-provided `F*D`-length buffer,
-    /// one `D`-wide block per feature in schema order. Batch encoding calls
-    /// this per row of a preallocated matrix, so no per-pair `Matrix` is
-    /// allocated and copied.
+    /// one `D`-wide block per feature in schema order. Served from the
+    /// record-level cache; bit-identical to
+    /// [`encode_pair_uncached`](Self::encode_pair_uncached).
     pub fn encode_pair_into(&self, pair: &EntityPair, out: &mut [f32]) {
         let d = self.dim();
         assert_eq!(out.len(), self.num_features() * d, "encode_pair_into: buffer width mismatch");
-        let mut blocks = out.chunks_exact_mut(d);
-        for attr in self.schema.attributes() {
+        let mut cache = self.lock_cache();
+        let slots = cache.ensure_slots(&self.schema, &[&pair.left, &pair.right]);
+        cache.encode_into(slots[0], slots[1], self.mode, out);
+    }
+
+    /// The uncached reference implementation of Eq. 2–3: tokenizes, hashes,
+    /// and embeds everything from scratch, touching no shared state. The
+    /// cached path is property-tested bit-identical against this.
+    pub fn encode_pair_uncached(&self, pair: &EntityPair, out: &mut [f32]) {
+        let d = self.dim();
+        assert_eq!(
+            out.len(),
+            self.num_features() * d,
+            "encode_pair_uncached: buffer width mismatch"
+        );
+        let per = self.mode.per_attribute();
+        for (a, attr) in self.schema.attributes().iter().enumerate() {
             let left =
                 pair.left.get(attr).map(|v| tokenize_cropped(v, self.crop)).unwrap_or_default();
             let right =
                 pair.right.get(attr).map(|v| tokenize_cropped(v, self.crop)).unwrap_or_default();
-            let missing = left.is_empty() && right.is_empty();
             let (shared, unique) = shared_and_unique(&left, &right);
-            let mut emit = |tokens: &[String]| {
-                // C1/C2: a fully missing attribute on both sides becomes the
-                // fixed non-zero vector so its parameters still receive
-                // gradient; an *empty* contrast set on a present attribute is
-                // genuine evidence and embeds as the missing vector too
-                // (both records exist but share nothing / differ in nothing).
-                let _ = missing;
-                let block = blocks.next().expect("feature count disagrees with buffer width");
+            let base = a * per * d;
+            let mut emit = |slot: usize, tokens: &[String]| {
+                // C1/C2 contract, applied where the block is written: an
+                // empty token set — a fully missing attribute on both sides,
+                // or an empty contrast set on present values (both records
+                // exist but share nothing / differ in nothing) — embeds as
+                // the fixed non-zero missing vector, so every feature block
+                // stays dense and its parameters receive gradient.
+                let block = &mut out[base + slot * d..base + (slot + 1) * d];
                 self.embedder.embed_tokens_into(tokens, block);
             };
             match self.mode {
-                FeatureMode::SharedOnly => emit(&shared),
-                FeatureMode::UniqueOnly => emit(&unique),
+                FeatureMode::SharedOnly => emit(0, &shared),
+                FeatureMode::UniqueOnly => emit(0, &unique),
                 FeatureMode::Both => {
-                    emit(&shared);
-                    emit(&unique);
+                    emit(0, &shared);
+                    emit(1, &unique);
                 }
             }
         }
     }
 
-    /// Encodes a batch of pairs as an `n x (F*D)` matrix. Rows are encoded
-    /// in parallel (each row only depends on its own pair), yielding the
-    /// exact same bytes as a sequential `encode_pair` loop.
+    /// Encodes a batch of pairs as an `n x (F*D)` matrix. Distinct records
+    /// are memoized first (one pass, parallel where it pays), then rows are
+    /// combined from cached data in parallel — the exact same bytes as a
+    /// sequential `encode_pair_uncached` loop.
     pub fn encode_pairs(&self, pairs: &[EntityPair]) -> Matrix {
         adamel_obs::trace_span!("encode_pairs");
         adamel_obs::trace_count!("encode.pairs", pairs.len() as u64);
         let width = self.num_features() * self.dim();
         let mut data = vec![0.0f32; pairs.len() * width];
-        // Rough per-row cost: every feature hashes ~crop tokens' worth of
-        // n-gram vectors, each a dim-length stream — comfortably above the
-        // matmul-style 2-flops-per-element scale, so weight width generously.
-        parallel::parallel_for_rows(&mut data, width, width * 200, |i, row| {
-            self.encode_pair_into(&pairs[i], row);
+        let mut guard = self.lock_cache();
+        let records: Vec<&Record> = pairs.iter().flat_map(|p| [&p.left, &p.right]).collect();
+        let slots = guard.ensure_slots(&self.schema, &records);
+        let cache: &EncodeCache = &guard;
+        let mode = self.mode;
+        // Warm rows are short id-list partitions plus adds/copies of cached
+        // rows — O(width) with a small constant, nothing like the uncached
+        // hash-everything cost the old weight (width * 200) modeled.
+        parallel::parallel_for_rows(&mut data, width, width * 4, |i, row| {
+            cache.encode_into(slots[2 * i], slots[2 * i + 1], mode, row);
         });
+        drop(guard);
         Matrix::from_vec(pairs.len(), width, data)
     }
 }
@@ -229,5 +299,46 @@ mod tests {
         let ex = FeatureExtractor::new(top, HashedFastText::new(8, 1), 20, FeatureMode::Both);
         assert_eq!(ex.num_features(), 2);
         assert_eq!(ex.feature_names(), vec!["title_shared", "title_unique"]);
+    }
+
+    #[test]
+    fn cached_matches_uncached_and_warm_repeat_is_stable() {
+        let pairs = vec![
+            EntityPair::unlabeled(
+                rec(&[("title", "hey jude"), ("artist", "the beatles")]),
+                rec(&[("title", "hey jude remastered"), ("artist", "beatles")]),
+            ),
+            EntityPair::unlabeled(rec(&[("title", "let it be")]), rec(&[("artist", "beatles")])),
+            EntityPair::unlabeled(rec(&[]), rec(&[])),
+            EntityPair::unlabeled(
+                rec(&[("title", "a a b"), ("artist", "x")]),
+                rec(&[("title", "a b b a"), ("artist", "x")]),
+            ),
+        ];
+        for mode in [FeatureMode::Both, FeatureMode::SharedOnly, FeatureMode::UniqueOnly] {
+            let ex = extractor(mode);
+            let width = ex.num_features() * ex.dim();
+            let cold = ex.encode_pairs(&pairs);
+            let warm = ex.encode_pairs(&pairs);
+            assert_eq!(cold.as_slice(), warm.as_slice(), "warm repeat drifted ({mode:?})");
+            let mut reference = vec![0.0f32; width];
+            for (i, pair) in pairs.iter().enumerate() {
+                ex.encode_pair_uncached(pair, &mut reference);
+                let row = &cold.as_slice()[i * width..(i + 1) * width];
+                let same = row.iter().zip(&reference).all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "cached row {i} != uncached reference ({mode:?})");
+            }
+        }
+        let ex = extractor(FeatureMode::Both);
+        ex.encode_pairs(&pairs);
+        let stats = ex.cache_stats();
+        // 8 record references, 7 distinct contents (the two empty records
+        // collide by content — same encoding, so sharing a slot is correct).
+        assert_eq!(stats.distinct_records, 7);
+        assert_eq!(stats.misses, 7);
+        assert_eq!(stats.hits, 1);
+        assert!(stats.interned_tokens > 0);
+        ex.clear_cache();
+        assert_eq!(ex.cache_stats(), EncodeCacheStats::default());
     }
 }

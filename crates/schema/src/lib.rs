@@ -11,11 +11,13 @@
 #![warn(missing_docs)]
 
 pub mod blocking;
+pub mod encode_cache;
 pub mod features;
 pub mod pair;
 pub mod record;
 
 pub use blocking::BlockingIndex;
+pub use encode_cache::EncodeCacheStats;
 pub use features::{FeatureExtractor, FeatureMode};
 pub use pair::{Domain, EntityPair};
 pub use record::{Record, Schema, SourceId};

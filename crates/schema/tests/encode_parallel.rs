@@ -70,6 +70,86 @@ proptest! {
     }
 }
 
+/// Deterministic Fisher–Yates over an LCG stream: record-order permutations
+/// without pulling a rand dependency into the test.
+fn permuted_indices(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // The record-level cache must be pure memoization: bit-identical to the
+    // uncached reference for every mode, at every thread count, whether the
+    // cache is cold or warm, and regardless of the order records were first
+    // seen in (interning order must never leak into the numerics). The tiny
+    // alphabet forces repeated tokens (multiset partitions) and duplicate
+    // records (real cache hits) to occur.
+    #[test]
+    fn cached_encoding_bit_identical_to_uncached(
+        raw in proptest::collection::vec(
+            ("[a-c ]{0,12}", "[a-c ]{0,12}", "[a-c ]{0,12}", "[a-c ]{0,12}"),
+            1..12,
+        ),
+        perm_seed in 0u64..u64::MAX,
+    ) {
+        let pairs: Vec<EntityPair> =
+            raw.iter().map(|(la, lt, ra, rt)| pair(la, lt, ra, rt)).collect();
+        for mode in [FeatureMode::Both, FeatureMode::SharedOnly, FeatureMode::UniqueOnly] {
+            let ex = extractor(mode);
+            let width = ex.num_features() * ex.dim();
+            let reference: Vec<Vec<f32>> = pairs
+                .iter()
+                .map(|p| {
+                    let mut buf = vec![f32::NAN; width];
+                    ex.encode_pair_uncached(p, &mut buf);
+                    buf
+                })
+                .collect();
+            let bits_equal = |a: &[f32], b: &[f32]| {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            };
+
+            for threads in [1usize, 2, 4, 8] {
+                let ex = extractor(mode); // fresh extractor => cold cache
+                let cold = parallel::with_threads(threads, || ex.encode_pairs(&pairs));
+                let warm = parallel::with_threads(threads, || ex.encode_pairs(&pairs));
+                for (i, want) in reference.iter().enumerate() {
+                    prop_assert!(
+                        bits_equal(cold.row(i), want),
+                        "cold cache row {i} != uncached ({mode:?}, {threads} threads)"
+                    );
+                    prop_assert!(
+                        bits_equal(warm.row(i), want),
+                        "warm cache row {i} != uncached ({mode:?}, {threads} threads)"
+                    );
+                }
+            }
+
+            // First-seen interning order must not matter: encode a permuted
+            // batch with a fresh cache and compare against the per-pair
+            // reference computed in original order.
+            let order = permuted_indices(pairs.len(), perm_seed);
+            let shuffled: Vec<EntityPair> = order.iter().map(|&i| pairs[i].clone()).collect();
+            let ex = extractor(mode);
+            let out = ex.encode_pairs(&shuffled);
+            for (row, &orig) in order.iter().enumerate() {
+                prop_assert!(
+                    bits_equal(out.row(row), &reference[orig]),
+                    "permuted row {row} (pair {orig}) != uncached ({mode:?})"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn encode_pairs_empty_batch() {
     let ex = extractor(FeatureMode::Both);

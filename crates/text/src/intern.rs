@@ -1,0 +1,211 @@
+//! String-interning token vocabulary with an embedding table.
+//!
+//! The feature layer (Eq. 2–3) re-encounters the same token strings across
+//! thousands of candidate pairs: every record participates in many pairs and
+//! real-world attribute vocabularies are small relative to pair counts.
+//! [`TokenVocab`] assigns each distinct (already normalized) token string a
+//! dense [`TokenId`] and computes its [`HashedFastText`] embedding exactly
+//! once, so the pair-encoding hot path works on `u32` ids and cached
+//! embedding rows instead of re-hashing `&str` n-grams per pair.
+//!
+//! Bit-exactness contract: [`TokenVocab::embedding`] returns the *identical
+//! bits* `HashedFastText::embed_token` would produce for that token —
+//! interning is pure memoization, never approximation. Ids are assigned in
+//! first-seen order, which may depend on input order; nothing downstream may
+//! let id *values* influence numeric results (the encoding cache only uses
+//! ids for equality tests and table lookups).
+
+use crate::embedding::HashedFastText;
+use adamel_tensor::parallel;
+use std::collections::HashMap;
+
+/// Dense identifier of an interned token string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TokenId(pub u32);
+
+/// Interning vocabulary: token string → [`TokenId`] → cached embedding row.
+#[derive(Debug, Clone)]
+pub struct TokenVocab {
+    embedder: HashedFastText,
+    /// Token string → id. Lookup only — never iterated (iteration order of
+    /// `HashMap` is nondeterministic; ids come from insertion order instead).
+    map: HashMap<String, u32>,
+    /// Id → token string, for deferred embedding computation.
+    tokens: Vec<String>,
+    /// Row-major `len() x dim()` embedding table; rows at `pending_from..`
+    /// are not yet computed.
+    table: Vec<f32>,
+    /// First table row whose embedding has not been computed yet.
+    pending_from: usize,
+    /// The embedder's fixed missing-value vector (empty token list).
+    missing: Vec<f32>,
+}
+
+impl TokenVocab {
+    /// Creates an empty vocabulary over `embedder`.
+    pub fn new(embedder: HashedFastText) -> Self {
+        let missing = embedder.missing_vector().into_vec();
+        Self {
+            embedder,
+            map: HashMap::new(),
+            tokens: Vec::new(),
+            table: Vec::new(),
+            pending_from: 0,
+            missing,
+        }
+    }
+
+    /// Embedding dimensionality of each table row.
+    pub fn dim(&self) -> usize {
+        self.embedder.dim()
+    }
+
+    /// Number of interned tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when no token has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The id of an already-interned token, if any.
+    pub fn lookup(&self, token: &str) -> Option<TokenId> {
+        self.map.get(token).copied().map(TokenId)
+    }
+
+    /// Interns `token`, assigning the next dense id on first sight. The
+    /// embedding row is *reserved but not computed*; call
+    /// [`compute_pending`](Self::compute_pending) before reading it back.
+    /// Deferring lets a batch of new tokens embed in one parallel pass.
+    pub fn intern_deferred(&mut self, token: &str) -> TokenId {
+        if let Some(&id) = self.map.get(token) {
+            return TokenId(id);
+        }
+        assert!(self.tokens.len() < u32::MAX as usize, "TokenVocab: token id space exhausted");
+        let id = self.tokens.len() as u32;
+        self.map.insert(token.to_owned(), id);
+        self.tokens.push(token.to_owned());
+        self.table.resize(self.tokens.len() * self.embedder.dim(), 0.0);
+        TokenId(id)
+    }
+
+    /// Computes every reserved-but-pending embedding row, in parallel across
+    /// rows. Each row is an independent `embed_token` evaluation, so the
+    /// result is bit-identical at any worker count.
+    pub fn compute_pending(&mut self) {
+        let dim = self.embedder.dim();
+        if self.pending_from >= self.tokens.len() {
+            return;
+        }
+        let start = self.pending_from;
+        let tokens = &self.tokens;
+        let embedder = &self.embedder;
+        // ~(token n-grams × dim) splitmix draws per row; weight well above a
+        // plain dim-length stream so a few thousand new tokens parallelize.
+        parallel::parallel_for_rows(&mut self.table[start * dim..], dim, dim * 64, |i, row| {
+            embedder.embed_token_into(&tokens[start + i], row);
+        });
+        self.pending_from = self.tokens.len();
+    }
+
+    /// The cached embedding row of `id` — bit-identical to
+    /// `embed_token(token)`. Reading a row before
+    /// [`compute_pending`](Self::compute_pending) has run is a caller bug
+    /// (caught by a `debug_assert`; release builds would read zeros).
+    pub fn embedding(&self, id: TokenId) -> &[f32] {
+        let dim = self.embedder.dim();
+        debug_assert!(
+            (id.0 as usize) < self.pending_from,
+            "TokenVocab::embedding: row {} read before compute_pending",
+            id.0
+        );
+        &self.table[id.0 as usize * dim..(id.0 as usize + 1) * dim]
+    }
+
+    /// The embedder's fixed normalized non-zero missing-value vector — the
+    /// bits `embed_tokens(&[])` produces.
+    pub fn missing(&self) -> &[f32] {
+        &self.missing
+    }
+
+    /// The embedder this vocabulary caches for.
+    pub fn embedder(&self) -> &HashedFastText {
+        &self.embedder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> TokenVocab {
+        TokenVocab::new(HashedFastText::new(16, 7))
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut v = vocab();
+        let a = v.intern_deferred("hey");
+        let b = v.intern_deferred("jude");
+        let a2 = v.intern_deferred("hey");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!((a.0, b.0), (0, 1));
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.lookup("hey"), Some(a));
+        assert_eq!(v.lookup("nope"), None);
+    }
+
+    #[test]
+    fn embedding_bits_match_embedder() {
+        let mut v = vocab();
+        let ids: Vec<TokenId> =
+            ["hey", "jude", "beatles"].iter().map(|t| v.intern_deferred(t)).collect();
+        v.compute_pending();
+        let reference = HashedFastText::new(16, 7);
+        for (tok, id) in ["hey", "jude", "beatles"].iter().zip(ids) {
+            assert_eq!(v.embedding(id), reference.embed_token(tok).as_slice(), "token {tok}");
+        }
+    }
+
+    #[test]
+    fn pending_batches_compose() {
+        let mut v = vocab();
+        let a = v.intern_deferred("alpha");
+        v.compute_pending();
+        let b = v.intern_deferred("bravo");
+        let a2 = v.intern_deferred("alpha");
+        v.compute_pending();
+        assert_eq!(a, a2);
+        let reference = HashedFastText::new(16, 7);
+        assert_eq!(v.embedding(a), reference.embed_token("alpha").as_slice());
+        assert_eq!(v.embedding(b), reference.embed_token("bravo").as_slice());
+    }
+
+    #[test]
+    fn compute_pending_is_thread_count_invariant() {
+        let words: Vec<String> = (0..37).map(|i| format!("tok{i}")).collect();
+        let serial = {
+            let mut v = vocab();
+            let ids: Vec<TokenId> = words.iter().map(|w| v.intern_deferred(w)).collect();
+            parallel::with_threads(1, || v.compute_pending());
+            ids.iter().map(|&id| v.embedding(id).to_vec()).collect::<Vec<_>>()
+        };
+        for threads in [2, 4, 8] {
+            let mut v = vocab();
+            let ids: Vec<TokenId> = words.iter().map(|w| v.intern_deferred(w)).collect();
+            parallel::with_threads(threads, || v.compute_pending());
+            for (i, &id) in ids.iter().enumerate() {
+                assert_eq!(v.embedding(id), serial[i].as_slice(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_matches_embedder() {
+        let v = vocab();
+        assert_eq!(v.missing(), HashedFastText::new(16, 7).missing_vector().as_slice());
+    }
+}

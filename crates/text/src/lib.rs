@@ -15,12 +15,14 @@
 #![warn(missing_docs)]
 
 pub mod embedding;
+pub mod intern;
 pub mod normalize;
 pub mod similarity;
 pub mod tfidf;
 pub mod tokenize;
 
 pub use embedding::{cosine_slices, HashedFastText};
+pub use intern::{TokenId, TokenVocab};
 pub use normalize::{is_missing, normalize};
 pub use tfidf::{TfIdf, TokenFrequency};
 pub use tokenize::{shared_and_unique, tokenize, tokenize_cropped};
