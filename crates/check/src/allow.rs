@@ -1,29 +1,41 @@
 //! Allowlist for deliberate lint violations.
 //!
-//! Format (`lint.allow` at the workspace root): one entry per line,
-//! four `|`-separated fields — lint id, workspace-relative path, a snippet
-//! the offending source line must contain, and a non-empty reason:
+//! Format (`lint.allow` at the workspace root): one entry per line, `|`-
+//! separated fields, in one of two forms:
 //!
 //! ```text
-//! # comment
+//! # explicit lint field (the original form)
 //! no-float-eq | crates/tensor/src/matrix.rs | a_ip == 0.0 | bit-exact sparsity skip
+//! # path-first form; the snippet may carry an optional `<lint-id>:` scope
+//! crates/core/src/train.rs | panic-reachability:rows[r] | bounds pre-checked by loader
+//! crates/core/src/tsne.rs  | panic-reachability:*       | dense index math, audited
+//! crates/data/src/pair.rs  | left.id                    | any lint on this snippet
 //! ```
+//!
+//! In the path-first form the prefix before the first `:` is treated as a
+//! lint scope only when it names a known lint id ([`crate::lints::LINT_IDS`])
+//! — so snippets containing `::` keep working unscoped. A snippet of `*`
+//! matches every line of the file (blanket allows need a lint scope so they
+//! stay narrow). Explicit-lint entries never split their snippet.
 //!
 //! Snippet matching (rather than line numbers) keeps entries stable under
 //! unrelated edits; the reason is mandatory so every suppression documents
 //! *why* the rule does not apply. Entries that match nothing are reported so
-//! the file cannot rot.
+//! the file cannot rot — and when an entry only went unused because an
+//! earlier entry claimed its finding first, the report names the lint id and
+//! file of the finding that last matched it, so the redundancy is visible.
 
-use crate::lints::Finding;
+use crate::lints::{Finding, LINT_IDS};
 
 /// One parsed allowlist entry.
 #[derive(Debug, Clone)]
 pub struct AllowEntry {
-    /// Lint id this entry suppresses.
-    pub lint: String,
+    /// Lint id this entry suppresses; `None` suppresses any lint.
+    pub lint: Option<String>,
     /// Workspace-relative path the finding must be in.
     pub path: String,
-    /// Substring the finding's source line must contain.
+    /// Substring the finding's source line must contain; `*` matches any
+    /// line of the file.
     pub snippet: String,
     /// Why this violation is deliberate (mandatory).
     pub reason: String,
@@ -31,15 +43,33 @@ pub struct AllowEntry {
     pub line: usize,
 }
 
+/// An entry that suppressed nothing, with the evidence `apply` gathered.
+#[derive(Debug, Clone)]
+pub struct StaleEntry {
+    /// The unused entry.
+    pub entry: AllowEntry,
+    /// When the entry *would* have matched a finding that an earlier entry
+    /// claimed first: (claiming entry's `lint.allow` line, finding lint id,
+    /// finding path, finding line).
+    pub shadowed_by: Option<(usize, String, String, usize)>,
+}
+
 impl AllowEntry {
     /// True when this entry suppresses `f`.
     pub fn matches(&self, f: &Finding) -> bool {
-        self.lint == f.lint && self.path == f.path && f.snippet.contains(&self.snippet)
+        self.lint.as_deref().is_none_or(|l| l == f.lint)
+            && self.path == f.path
+            && (self.snippet == "*" || f.snippet.contains(&self.snippet))
+    }
+
+    /// The lint scope for diagnostics: the lint id, or `any lint`.
+    pub fn scope(&self) -> &str {
+        self.lint.as_deref().unwrap_or("any lint")
     }
 }
 
 /// Parses allowlist text. Returns `Err` with a description for malformed
-/// lines (wrong field count, empty field, missing reason).
+/// lines (wrong field count, empty field, unknown lint id, unscoped `*`).
 pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
     let mut entries = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
@@ -49,50 +79,100 @@ pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
             continue;
         }
         let fields: Vec<&str> = trimmed.split('|').map(str::trim).collect();
-        if fields.len() != 4 {
-            return Err(format!(
-                "lint.allow:{line}: expected 4 `|`-separated fields \
-                 (lint | path | snippet | reason), got {}",
-                fields.len()
-            ));
-        }
         if fields.iter().any(|f| f.is_empty()) {
             return Err(format!(
-                "lint.allow:{line}: empty field; every entry needs lint, path, snippet, and a \
-                 reason"
+                "lint.allow:{line}: empty field; every entry needs a path, a snippet, and a \
+                 reason (plus an optional lint id)"
             ));
         }
-        entries.push(AllowEntry {
-            lint: fields[0].to_string(),
-            path: fields[1].to_string(),
-            snippet: fields[2].to_string(),
-            reason: fields[3].to_string(),
-            line,
-        });
+        let entry = match fields.as_slice() {
+            [lint, path, snippet, reason] => {
+                if !LINT_IDS.contains(lint) {
+                    return Err(format!(
+                        "lint.allow:{line}: unknown lint id `{lint}`; known ids: {}",
+                        LINT_IDS.join(", ")
+                    ));
+                }
+                AllowEntry {
+                    lint: Some(lint.to_string()),
+                    path: path.to_string(),
+                    snippet: snippet.to_string(),
+                    reason: reason.to_string(),
+                    line,
+                }
+            }
+            [path, snippet, reason] => {
+                // `<lint-id>:<snippet>` scopes the entry; an unknown prefix
+                // is part of the snippet (it may contain `::`).
+                let (lint, snippet) = match snippet.split_once(':') {
+                    Some((head, rest)) if LINT_IDS.contains(&head.trim()) => {
+                        (Some(head.trim().to_string()), rest.trim().to_string())
+                    }
+                    _ => (None, snippet.to_string()),
+                };
+                if snippet.is_empty() {
+                    return Err(format!("lint.allow:{line}: empty snippet after the lint scope"));
+                }
+                AllowEntry {
+                    lint,
+                    path: path.to_string(),
+                    snippet,
+                    reason: reason.to_string(),
+                    line,
+                }
+            }
+            other => {
+                return Err(format!(
+                    "lint.allow:{line}: expected 3 fields (path | snippet | reason) or 4 \
+                     (lint | path | snippet | reason), got {}",
+                    other.len()
+                ));
+            }
+        };
+        if entry.snippet == "*" && entry.lint.is_none() {
+            return Err(format!(
+                "lint.allow:{line}: a `*` snippet suppresses every finding in the file; scope \
+                 it to one lint (`<lint-id>:*`)"
+            ));
+        }
+        entries.push(entry);
     }
     Ok(entries)
 }
 
-/// Splits findings into (kept, suppressed) and returns the entries that
-/// matched nothing (stale — reported so the allowlist cannot rot).
+/// Splits findings into (kept, suppressed) — first matching entry wins —
+/// and returns the entries that suppressed nothing, each annotated with the
+/// finding an earlier entry shadowed it on, when there is one.
 pub fn apply(
     findings: Vec<Finding>,
     entries: &[AllowEntry],
-) -> (Vec<Finding>, Vec<Finding>, Vec<AllowEntry>) {
+) -> (Vec<Finding>, Vec<Finding>, Vec<StaleEntry>) {
     let mut kept = Vec::new();
     let mut suppressed = Vec::new();
     let mut used = vec![false; entries.len()];
+    let mut shadow: Vec<Option<(usize, String, String, usize)>> = vec![None; entries.len()];
     for f in findings {
-        match entries.iter().position(|e| e.matches(&f)) {
-            Some(i) => {
-                used[i] = true;
+        let matching: Vec<usize> = (0..entries.len()).filter(|&i| entries[i].matches(&f)).collect();
+        match matching.split_first() {
+            Some((&first, rest)) => {
+                used[first] = true;
+                for &i in rest {
+                    shadow[i] =
+                        Some((entries[first].line, f.lint.to_string(), f.path.clone(), f.line));
+                }
                 suppressed.push(f);
             }
             None => kept.push(f),
         }
     }
-    let unused = entries.iter().zip(&used).filter(|(_, &u)| !u).map(|(e, _)| e.clone()).collect();
-    (kept, suppressed, unused)
+    let stale = entries
+        .iter()
+        .zip(used)
+        .zip(shadow)
+        .filter(|((_, u), _)| !u)
+        .map(|((e, _), s)| StaleEntry { entry: e.clone(), shadowed_by: s })
+        .collect();
+    (kept, suppressed, stale)
 }
 
 #[cfg(test)]
@@ -111,32 +191,89 @@ mod tests {
     fn parse_skips_comments_and_blanks() {
         let entries = parse(ENTRY).expect("entry parses");
         assert_eq!(entries.len(), 1);
-        assert_eq!(entries[0].lint, "no-panic");
+        assert_eq!(entries[0].lint.as_deref(), Some("no-panic"));
         assert_eq!(entries[0].reason, "documented invariant");
     }
 
     #[test]
-    fn parse_rejects_missing_reason() {
-        assert!(parse("no-panic | a.rs | x.unwrap()\n").is_err());
+    fn parse_rejects_missing_reason_and_unknown_lints() {
         assert!(parse("no-panic | a.rs | x.unwrap() | \n").is_err());
+        assert!(parse("no-panics | a.rs | x.unwrap() | typo in lint id\n").is_err());
+        assert!(parse("a | b | c | d | e\n").is_err(), "five fields is malformed");
+    }
+
+    #[test]
+    fn three_field_form_parses_with_optional_lint_scope() {
+        let entries = parse(
+            "crates/core/src/foo.rs | no-panic:x.unwrap() | scoped\n\
+             crates/core/src/foo.rs | x.unwrap() | unscoped\n\
+             crates/core/src/foo.rs | Vec::new | snippet with path colons\n",
+        )
+        .expect("entries parse");
+        assert_eq!(entries[0].lint.as_deref(), Some("no-panic"));
+        assert_eq!(entries[0].snippet, "x.unwrap()");
+        assert_eq!(entries[1].lint, None);
+        assert_eq!(entries[2].lint, None, "`Vec` is not a lint id");
+        assert_eq!(entries[2].snippet, "Vec::new");
+    }
+
+    #[test]
+    fn wildcard_snippet_requires_a_lint_scope() {
+        assert!(parse("crates/core/src/foo.rs | * | too broad\n").is_err());
+        let entries = parse("crates/core/src/foo.rs | panic-reachability:* | audited file\n")
+            .expect("scoped wildcard parses");
+        assert_eq!(entries[0].snippet, "*");
+        assert_eq!(entries[0].lint.as_deref(), Some("panic-reachability"));
     }
 
     #[test]
     fn matching_entry_suppresses_finding() {
         let entries = parse(ENTRY).expect("entry parses");
-        let (kept, suppressed, unused) = apply(findings(), &entries);
+        let (kept, suppressed, stale) = apply(findings(), &entries);
         assert!(kept.is_empty());
         assert_eq!(suppressed.len(), 1);
-        assert!(unused.is_empty());
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn unscoped_and_wildcard_entries_suppress_too() {
+        for text in [
+            "crates/core/src/foo.rs | x.unwrap() | unscoped\n",
+            "crates/core/src/foo.rs | no-panic:* | blanket\n",
+        ] {
+            let entries = parse(text).expect("entry parses");
+            let (kept, suppressed, _) = apply(findings(), &entries);
+            assert!(kept.is_empty(), "{text}");
+            assert_eq!(suppressed.len(), 1, "{text}");
+        }
     }
 
     #[test]
     fn wrong_path_or_lint_does_not_suppress() {
         let entries = parse("no-panic | crates/core/src/other.rs | x.unwrap() | wrong file\n")
             .expect("entry parses");
-        let (kept, suppressed, unused) = apply(findings(), &entries);
+        let (kept, suppressed, stale) = apply(findings(), &entries);
         assert_eq!(kept.len(), 1);
         assert!(suppressed.is_empty());
-        assert_eq!(unused.len(), 1, "stale entry must be reported");
+        assert_eq!(stale.len(), 1, "stale entry must be reported");
+        assert!(stale[0].shadowed_by.is_none());
+    }
+
+    #[test]
+    fn shadowed_entries_name_the_finding_they_last_matched() {
+        let entries = parse(
+            "no-panic | crates/core/src/foo.rs | x.unwrap() | first wins\n\
+             crates/core/src/foo.rs | no-panic:unwrap | redundant duplicate\n",
+        )
+        .expect("entries parse");
+        let (kept, _, stale) = apply(findings(), &entries);
+        assert!(kept.is_empty());
+        assert_eq!(stale.len(), 1);
+        let (by_line, lint, path, line) =
+            stale[0].shadowed_by.clone().expect("duplicate is shadowed, not plain-stale");
+        assert_eq!(by_line, 1, "claimed by the entry on lint.allow line 1");
+        assert_eq!(lint, "no-panic");
+        assert_eq!(path, "crates/core/src/foo.rs");
+        assert!(line >= 1);
     }
 }

@@ -1,0 +1,251 @@
+//! Approximate workspace call graph.
+//!
+//! Call sites are recovered from function-body token streams by pattern
+//! (`name(`, `recv.name(`, `Qual::name(`) and resolved *by name* against
+//! the symbol table: a method call edges to every same-named method, a
+//! `Qual::name` call prefers methods of `Qual` (then functions in a module
+//! named `Qual`), and a bare call prefers free functions. The result
+//! over-approximates: a name collision adds edges that rustc's real
+//! resolution would not. For the panic-reachability pass this errs on the
+//! side of reporting (a spurious edge can only make more panics look
+//! reachable), which is the conservative direction for a lint. See
+//! DESIGN.md §14.
+
+use crate::lexer::{TokKind, Token};
+use crate::symbols::Workspace;
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct CallSite {
+    /// Callee function id.
+    pub callee: usize,
+    /// 1-based line of the call site in the caller's file.
+    pub line: usize,
+    /// True when the name resolved to exactly one candidate. Passes that
+    /// must not chase collision noise (lock-across-dispatch) only trust
+    /// unique edges; panic-reachability deliberately follows all of them.
+    pub unique: bool,
+}
+
+/// Forward and reverse adjacency over [`Workspace::fns`].
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Per-caller resolved call sites (deduped by callee, first site wins).
+    pub calls: Vec<Vec<CallSite>>,
+    /// Per-callee caller ids (deduped).
+    pub callers: Vec<Vec<usize>>,
+}
+
+/// Identifiers that look like calls but never are.
+const NOT_CALLS: &[&str] = &[
+    "if", "match", "while", "for", "loop", "return", "fn", "move", "in", "let", "else", "Some",
+    "None", "Ok", "Err", "Self",
+];
+
+/// Builds the call graph for `ws`.
+pub fn build(ws: &Workspace) -> CallGraph {
+    let n = ws.fns.len();
+    let mut calls: Vec<Vec<CallSite>> = vec![Vec::new(); n];
+    for (caller, f) in ws.fns.iter().enumerate() {
+        let Some((b0, b1)) = f.body else { continue };
+        let toks = &ws.files[f.file].toks;
+        let mut i = b0;
+        while i < b1 && i + 1 < toks.len() {
+            let t = &toks[i];
+            let callish = t.kind == TokKind::Ident
+                && toks[i + 1].is_punct("(")
+                && !NOT_CALLS.contains(&t.text.as_str());
+            if !callish {
+                i += 1;
+                continue;
+            }
+            let resolved = resolve_call_at(ws, toks, i);
+            let unique = resolved.len() == 1;
+            for callee in resolved {
+                if ws.fns[callee].is_test && !f.is_test {
+                    continue; // never edge from real code into test code
+                }
+                match calls[caller].iter_mut().find(|c| c.callee == callee) {
+                    Some(existing) => existing.unique |= unique,
+                    None => calls[caller].push(CallSite { callee, line: t.line, unique }),
+                }
+            }
+            i += 1;
+        }
+    }
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (caller, sites) in calls.iter().enumerate() {
+        for site in sites {
+            if !callers[site.callee].contains(&caller) {
+                callers[site.callee].push(caller);
+            }
+        }
+    }
+    CallGraph { calls, callers }
+}
+
+/// Resolves the call whose callee identifier sits at token index `i`
+/// (caller must have checked that `toks[i]` is an identifier followed by
+/// `(`). Returns candidate function ids; empty for definitions and names
+/// the workspace does not define.
+pub fn resolve_call_at(ws: &Workspace, toks: &[Token], i: usize) -> Vec<usize> {
+    let prev = i.checked_sub(1).map(|p| &toks[p]);
+    // Skip definitions (`fn name(`); macro bangs never reach here
+    // (`name!(` has `!` between name and paren).
+    if prev.is_some_and(|p| p.is_ident("fn")) {
+        return Vec::new();
+    }
+    if prev.is_some_and(|p| p.is_punct(".")) {
+        resolve_method(ws, &toks[i].text)
+    } else if prev.is_some_and(|p| p.is_punct("::")) {
+        let qual = i
+            .checked_sub(2)
+            .map(|q| &toks[q])
+            .filter(|q| q.kind == TokKind::Ident)
+            .map(|q| q.text.as_str());
+        resolve_qualified(ws, qual, &toks[i].text)
+    } else {
+        resolve_plain(ws, &toks[i].text)
+    }
+}
+
+/// `recv.name(..)`: every method (fn inside an impl/trait) named `name`.
+fn resolve_method(ws: &Workspace, name: &str) -> Vec<usize> {
+    ws.by_name
+        .get(name)
+        .map(|ids| ids.iter().copied().filter(|&id| ws.fns[id].self_type.is_some()).collect())
+        .unwrap_or_default()
+}
+
+/// `Qual::name(..)`: methods of type `Qual` first, then functions in a
+/// module whose last segment is `qual` (e.g. `parallel::parallel_for_rows`),
+/// then any function named `name`.
+fn resolve_qualified(ws: &Workspace, qual: Option<&str>, name: &str) -> Vec<usize> {
+    let Some(ids) = ws.by_name.get(name) else { return Vec::new() };
+    if let Some(q) = qual {
+        let of_type: Vec<usize> =
+            ids.iter().copied().filter(|&id| ws.fns[id].self_type.as_deref() == Some(q)).collect();
+        if !of_type.is_empty() {
+            return of_type;
+        }
+        let of_mod: Vec<usize> = ids
+            .iter()
+            .copied()
+            .filter(|&id| ws.fns[id].module.last().map(String::as_str) == Some(q))
+            .collect();
+        if !of_mod.is_empty() {
+            return of_mod;
+        }
+    }
+    ids.clone()
+}
+
+/// Bare `name(..)`: free functions named `name`; if none exist anywhere,
+/// fall back to every symbol with the name (it may be `Self::`-less
+/// associated-fn usage via `use`).
+fn resolve_plain(ws: &Workspace, name: &str) -> Vec<usize> {
+    let Some(ids) = ws.by_name.get(name) else { return Vec::new() };
+    let free: Vec<usize> =
+        ids.iter().copied().filter(|&id| ws.fns[id].self_type.is_none()).collect();
+    if free.is_empty() {
+        ids.clone()
+    } else {
+        free
+    }
+}
+
+/// Breadth-first search from `start` over reverse edges (callee → caller),
+/// stopping at the first function satisfying `is_root`. Returns the path
+/// `[root, .., start]` when one exists. Test functions never appear on the
+/// path.
+pub fn shortest_path_to_root(
+    ws: &Workspace,
+    graph: &CallGraph,
+    start: usize,
+    is_root: impl Fn(usize) -> bool,
+) -> Option<Vec<usize>> {
+    let n = ws.fns.len();
+    let mut pred: Vec<Option<usize>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    seen[start] = true;
+    queue.push_back(start);
+    while let Some(cur) = queue.pop_front() {
+        if is_root(cur) {
+            // pred links each visited caller back toward `start`, so
+            // following the chain from the root yields [root, .., start].
+            let mut path = Vec::new();
+            let mut node = Some(cur);
+            while let Some(x) = node {
+                path.push(x);
+                node = pred[x];
+            }
+            return Some(path);
+        }
+        for &caller in &graph.callers[cur] {
+            if !seen[caller] && !ws.fns[caller].is_test {
+                seen[caller] = true;
+                pred[caller] = Some(cur);
+                queue.push_back(caller);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(src: &str) -> Workspace {
+        Workspace::from_sources(vec![("crates/core/src/lib.rs".to_string(), src.to_string())])
+    }
+
+    fn id(ws: &Workspace, name: &str) -> usize {
+        ws.by_name[name][0]
+    }
+
+    #[test]
+    fn plain_and_method_calls_resolve() {
+        let w = ws("fn leaf() {}\nfn caller() { leaf(); }\n\
+                    struct S;\nimpl S { fn m(&self) {} }\nfn via_method(s: &S) { s.m(); }");
+        let g = build(&w);
+        assert!(g.calls[id(&w, "caller")].iter().any(|c| c.callee == id(&w, "leaf")));
+        assert!(g.calls[id(&w, "via_method")].iter().any(|c| c.callee == id(&w, "m")));
+        assert!(g.callers[id(&w, "leaf")].contains(&id(&w, "caller")));
+    }
+
+    #[test]
+    fn qualified_calls_prefer_the_named_type() {
+        let w = ws("struct A;\nstruct B;\nimpl A { fn go() {} }\nimpl B { fn go() {} }\n\
+                    fn f() { A::go(); }");
+        let g = build(&w);
+        let a_go = w.by_name["go"]
+            .iter()
+            .copied()
+            .find(|&i| w.fns[i].self_type.as_deref() == Some("A"))
+            .expect("A::go exists");
+        let edges = &g.calls[id(&w, "f")];
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].callee, a_go);
+    }
+
+    #[test]
+    fn real_code_never_edges_into_tests() {
+        let w = ws("fn caller() { helper(); }\n#[cfg(test)]\nmod t { pub fn helper() {} }");
+        let g = build(&w);
+        assert!(g.calls[id(&w, "caller")].is_empty());
+    }
+
+    #[test]
+    fn bfs_finds_shortest_witness() {
+        let w = ws("pub fn root() { mid(); }\nfn mid() { deep(); }\nfn deep() {}\n\
+                    pub fn direct() { deep(); }");
+        let g = build(&w);
+        let path = shortest_path_to_root(&w, &g, id(&w, "deep"), |f| w.fns[f].is_pub)
+            .expect("reachable from a pub fn");
+        assert_eq!(path.len(), 2, "direct() -> deep() is the shortest witness");
+        assert_eq!(path.last(), Some(&id(&w, "deep")));
+        assert!(w.fns[path[0]].is_pub);
+    }
+}

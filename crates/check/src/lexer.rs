@@ -28,21 +28,26 @@ pub enum TokKind {
     Punct,
 }
 
-/// One lexeme with its source line (1-based).
+/// One lexeme with its source line (1-based) and byte span.
 #[derive(Debug, Clone)]
 pub struct Token {
     /// Lexeme class.
     pub kind: TokKind,
     /// The lexeme text. Empty for `Str`/`Char` (contents are irrelevant to
-    /// the lints and dropping them avoids false positives).
+    /// the lints and dropping them avoids false positives); the byte span
+    /// still covers the full literal, so `src[start..end]` recovers it.
     pub text: String,
     /// 1-based line where the lexeme starts.
     pub line: usize,
+    /// Byte offset of the first byte of the lexeme in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte of the lexeme.
+    pub end: usize,
 }
 
 impl Token {
     fn new(kind: TokKind, text: impl Into<String>, line: usize) -> Self {
-        Self { kind, text: text.into(), line }
+        Self { kind, text: text.into(), line, start: 0, end: 0 }
     }
 
     /// True when this token is the identifier `s`.
@@ -76,6 +81,7 @@ struct Cursor {
     chars: Vec<char>,
     i: usize,
     line: usize,
+    byte: usize,
 }
 
 impl Cursor {
@@ -87,6 +93,7 @@ impl Cursor {
         let c = self.chars.get(self.i).copied();
         if let Some(c) = c {
             self.i += 1;
+            self.byte += c.len_utf8();
             if c == '\n' {
                 self.line += 1;
             }
@@ -99,10 +106,17 @@ impl Cursor {
 /// to end of input rather than erroring: the lints prefer a best-effort
 /// stream over rejecting a file rustc itself would reject anyway.
 pub fn lex(src: &str) -> Vec<Token> {
-    let mut cur = Cursor { chars: src.chars().collect(), i: 0, line: 1 };
+    let mut cur = Cursor { chars: src.chars().collect(), i: 0, line: 1, byte: 0 };
     let mut out = Vec::new();
 
+    fn spanned(mut t: Token, start: usize, end: usize) -> Token {
+        t.start = start;
+        t.end = end;
+        t
+    }
+
     while let Some(c) = cur.peek(0) {
+        let sb = cur.byte;
         // Whitespace.
         if c.is_whitespace() {
             cur.bump();
@@ -147,7 +161,7 @@ pub fn lex(src: &str) -> Vec<Token> {
             let line = cur.line;
             cur.bump();
             scan_string_body(&mut cur);
-            out.push(Token::new(TokKind::Str, "", line));
+            out.push(spanned(Token::new(TokKind::Str, "", line), sb, cur.byte));
             continue;
         }
         // Lifetimes and char literals.
@@ -166,7 +180,7 @@ pub fn lex(src: &str) -> Vec<Token> {
                 while cur.peek(0).is_some_and(is_ident_continue) {
                     text.push(cur.bump().unwrap_or('_'));
                 }
-                out.push(Token::new(TokKind::Lifetime, text, line));
+                out.push(spanned(Token::new(TokKind::Lifetime, text, line), sb, cur.byte));
             } else {
                 cur.bump();
                 while let Some(c) = cur.peek(0) {
@@ -180,7 +194,7 @@ pub fn lex(src: &str) -> Vec<Token> {
                         break;
                     }
                 }
-                out.push(Token::new(TokKind::Char, "", line));
+                out.push(spanned(Token::new(TokKind::Char, "", line), sb, cur.byte));
             }
             continue;
         }
@@ -188,7 +202,7 @@ pub fn lex(src: &str) -> Vec<Token> {
         if c.is_ascii_digit() {
             let line = cur.line;
             let (text, kind) = scan_number(&mut cur);
-            out.push(Token::new(kind, text, line));
+            out.push(spanned(Token::new(kind, text, line), sb, cur.byte));
             continue;
         }
         // Identifiers — including the raw-string / byte-string prefixes.
@@ -200,9 +214,9 @@ pub fn lex(src: &str) -> Vec<Token> {
             }
             // r"..." / r#"..."# / b"..." / br#"..."# are strings, not idents.
             if matches!(text.as_str(), "r" | "b" | "br" | "rb") && scan_raw_string(&mut cur) {
-                out.push(Token::new(TokKind::Str, "", line));
+                out.push(spanned(Token::new(TokKind::Str, "", line), sb, cur.byte));
             } else {
-                out.push(Token::new(TokKind::Ident, text, line));
+                out.push(spanned(Token::new(TokKind::Ident, text, line), sb, cur.byte));
             }
             continue;
         }
@@ -219,10 +233,10 @@ pub fn lex(src: &str) -> Vec<Token> {
             for _ in 0..op.len() {
                 cur.bump();
             }
-            out.push(Token::new(TokKind::Punct, op, line));
+            out.push(spanned(Token::new(TokKind::Punct, op, line), sb, cur.byte));
         } else {
             cur.bump();
-            out.push(Token::new(TokKind::Punct, c.to_string(), line));
+            out.push(spanned(Token::new(TokKind::Punct, c.to_string(), line), sb, cur.byte));
         }
     }
     out

@@ -1,21 +1,35 @@
 //! # adamel-check
 //!
-//! Workspace static analysis for the AdaMEL reproduction: a lightweight
-//! Rust lexer ([`lexer`]), five project lints ([`lints`]) guarding the
-//! numeric invariants the model depends on (panic-free library code, the
-//! PR 1 threading determinism boundary, no float `==`, no order-sensitive
-//! `HashMap` iteration, no clocks/entropy in compute paths), and an
-//! allowlist ([`allow`]) so deliberate violations are documented instead of
-//! silenced.
+//! Workspace static analysis for the AdaMEL reproduction, in two layers.
 //!
-//! The `adamel-check` binary walks `crates/**/*.rs`, applies the lints, and
-//! exits nonzero on any finding not covered by `lint.allow` — CI runs it
-//! next to `cargo clippy`. See DESIGN.md §9 for the lint catalog and the
-//! rationale.
+//! The token layer — a lightweight Rust lexer ([`lexer`]) and five
+//! single-file lints ([`lints`]) guarding the numeric invariants the model
+//! depends on (panic-free library code, the PR 1 threading determinism
+//! boundary, no float `==`, no order-sensitive `HashMap` iteration, no
+//! clocks/entropy in compute paths).
+//!
+//! The call-graph layer — an item/block tree parser ([`parse`]), a
+//! workspace symbol table ([`symbols`]), an approximate call graph
+//! ([`callgraph`]), and three whole-workspace passes ([`passes`]):
+//! panic-reachability with shortest witness paths, MutexGuard live ranges
+//! spanning parallel dispatch, and nondeterministic float reductions in
+//! worker closures.
+//!
+//! Deliberate violations go through the allowlist ([`allow`]) with a
+//! mandatory reason; reports render as text or versioned JSON ([`output`]).
+//! The `adamel-check` binary walks `crates/**/*.rs`, applies both layers,
+//! and exits nonzero on any finding not covered by `lint.allow` — CI runs
+//! it next to `cargo clippy`. See DESIGN.md §9 for the lint catalog and
+//! §14 for the call-graph approximation and its soundness caveats.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod allow;
+pub mod callgraph;
 pub mod lexer;
 pub mod lints;
+pub mod output;
+pub mod parse;
+pub mod passes;
+pub mod symbols;

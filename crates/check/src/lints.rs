@@ -16,6 +16,21 @@
 
 use crate::lexer::{lex, TokKind, Token};
 
+/// Every lint id the tool can emit: the five token lints in this module
+/// plus the three call-graph passes in [`crate::passes`]. The allowlist
+/// parser ([`crate::allow`]) recognizes `<lint-id>:` snippet scopes against
+/// this list and rejects entries naming a lint that does not exist.
+pub const LINT_IDS: &[&str] = &[
+    "no-panic",
+    "no-thread-spawn",
+    "no-float-eq",
+    "hashmap-order",
+    "no-clock-in-compute",
+    "panic-reachability",
+    "lock-across-dispatch",
+    "nondeterministic-reduction",
+];
+
 /// One lint violation.
 #[derive(Debug, Clone)]
 pub struct Finding {

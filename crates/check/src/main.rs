@@ -1,8 +1,10 @@
-//! `adamel-check`: run the project lints over the workspace.
+//! `adamel-check`: run the project lints and call-graph passes over the
+//! workspace.
 //!
 //! ```text
-//! cargo run -p adamel-check            # lint the workspace rooted at cwd
-//! cargo run -p adamel-check -- <root>  # lint an explicit workspace root
+//! cargo run -p adamel-check                      # lint the workspace at cwd
+//! cargo run -p adamel-check -- <root>            # explicit workspace root
+//! cargo run -p adamel-check -- --format json     # machine-readable report
 //! ```
 //!
 //! Exit codes: 0 — clean (possibly with allowlisted findings), 1 — findings
@@ -11,21 +13,43 @@
 
 #![forbid(unsafe_code)]
 
-use adamel_check::allow;
 use adamel_check::lints::{lint_file, Finding};
+use adamel_check::symbols::Workspace;
+use adamel_check::{allow, callgraph, output, passes};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+/// Output format, selected with `--format`.
+enum Format {
+    Text,
+    Json,
+}
+
 fn main() -> ExitCode {
-    let root = match std::env::args().nth(1) {
-        Some(arg) if arg == "--help" || arg == "-h" => {
-            println!("usage: adamel-check [workspace-root]");
-            return ExitCode::SUCCESS;
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Text;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("usage: adamel-check [workspace-root] [--format text|json]");
+                return ExitCode::SUCCESS;
+            }
+            "--format" => match args.next().as_deref() {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                other => {
+                    eprintln!(
+                        "adamel-check: error: --format expects `text` or `json`, got {:?}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            other => root = PathBuf::from(other),
         }
-        Some(arg) => PathBuf::from(arg),
-        None => PathBuf::from("."),
-    };
-    match run(&root) {
+    }
+    match run(&root, &format) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(msg) => {
@@ -35,7 +59,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(root: &Path) -> Result<bool, String> {
+fn run(root: &Path, format: &Format) -> Result<bool, String> {
     let crates_dir = root.join("crates");
     if !crates_dir.is_dir() {
         return Err(format!(
@@ -54,8 +78,9 @@ fn run(root: &Path) -> Result<bool, String> {
         Vec::new()
     };
 
+    // Token lints: every .rs file under crates/ (scoping is per-lint).
     let mut files = Vec::new();
-    collect_rs_files(&crates_dir, &mut files)
+    adamel_check::symbols::collect_rs_files(&crates_dir, &mut files)
         .map_err(|e| format!("walking {}: {e}", crates_dir.display()))?;
     files.sort();
 
@@ -67,48 +92,57 @@ fn run(root: &Path) -> Result<bool, String> {
         findings.extend(lint_file(&rel, &src));
     }
 
+    // Call-graph passes: the parsed `crates/*/src` workspace.
+    let ws = Workspace::load(root)?;
+    let graph = callgraph::build(&ws);
+    findings.extend(passes::run_all(&ws, &graph));
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.lint, &a.message).cmp(&(&b.path, b.line, b.lint, &b.message))
+    });
+
     let scanned = files.len();
-    let (kept, suppressed, unused) = allow::apply(findings, &entries);
+    let (kept, suppressed, stale) = allow::apply(findings, &entries);
+    let clean = kept.is_empty() && stale.is_empty();
 
-    for f in &kept {
-        println!("{}:{}: [{}] {}", f.path, f.line, f.lint, f.message);
-    }
-    for e in &unused {
-        println!(
-            "lint.allow:{}: [stale-allow] entry for `{}` in {} matches nothing; remove it",
-            e.line, e.lint, e.path
-        );
-    }
-
-    let clean = kept.is_empty() && unused.is_empty();
-    println!(
-        "adamel-check: {} file(s) scanned, {} finding(s), {} allowlisted, {} stale allow \
-         entr{} — {}",
-        scanned,
-        kept.len(),
-        suppressed.len(),
-        unused.len(),
-        if unused.len() == 1 { "y" } else { "ies" },
-        if clean { "clean" } else { "FAILED" }
-    );
-    Ok(clean)
-}
-
-/// Recursively collects `.rs` files, skipping build output.
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
-                continue;
+    match format {
+        Format::Json => {
+            print!("{}", output::json_report(&kept, &suppressed, &stale, scanned));
+        }
+        Format::Text => {
+            for f in &kept {
+                println!("{}:{}: [{}] {}", f.path, f.line, f.lint, f.message);
             }
-            collect_rs_files(&path, out)?;
-        } else if name.ends_with(".rs") {
-            out.push(path);
+            for s in &stale {
+                let e = &s.entry;
+                match &s.shadowed_by {
+                    Some((by_line, lint, path, line)) => println!(
+                        "lint.allow:{}: [stale-allow] entry for `{}` in {} is redundant: its \
+                         last match ([{lint}] {path}:{line}) is claimed by lint.allow:{by_line}; \
+                         remove it",
+                        e.line,
+                        e.scope(),
+                        e.path
+                    ),
+                    None => println!(
+                        "lint.allow:{}: [stale-allow] entry for `{}` in {} matches nothing; \
+                         remove it",
+                        e.line,
+                        e.scope(),
+                        e.path
+                    ),
+                }
+            }
+            println!(
+                "adamel-check: {} file(s) scanned, {} finding(s), {} allowlisted, {} stale allow \
+                 entr{} — {}",
+                scanned,
+                kept.len(),
+                suppressed.len(),
+                stale.len(),
+                if stale.len() == 1 { "y" } else { "ies" },
+                if clean { "clean" } else { "FAILED" }
+            );
         }
     }
-    Ok(())
+    Ok(clean)
 }

@@ -1,0 +1,151 @@
+//! Report rendering for `adamel-check` — the stable JSON format.
+//!
+//! `adamel-check --format json` emits a single object with a versioned
+//! `schema` field (`adamel-check/v1`) so downstream tooling (the CI
+//! artifact, ad-hoc `jq` queries) can detect format changes instead of
+//! silently misparsing. Ordering is stable: findings arrive pre-sorted from
+//! the driver and are serialized in order, and every object's keys are
+//! written in a fixed sequence. Serialization is hand-rolled string
+//! building — the workspace builds offline, so there is no serde to lean
+//! on; the escaping covers everything [`crate::lints::Finding`] can carry.
+
+use crate::allow::StaleEntry;
+use crate::lints::Finding;
+
+/// The JSON schema identifier the report carries.
+pub const SCHEMA: &str = "adamel-check/v1";
+
+/// Escapes `s` for inclusion in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"lint\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\"snippet\":\"{}\"}}",
+        escape(f.lint),
+        escape(&f.path),
+        f.line,
+        escape(&f.message),
+        escape(&f.snippet)
+    )
+}
+
+fn stale_json(s: &StaleEntry) -> String {
+    let shadow = match &s.shadowed_by {
+        Some((by_line, lint, path, line)) => format!(
+            "{{\"allow_line\":{by_line},\"lint\":\"{}\",\"path\":\"{}\",\"line\":{line}}}",
+            escape(lint),
+            escape(path)
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"allow_line\":{},\"lint\":\"{}\",\"path\":\"{}\",\"snippet\":\"{}\",\
+         \"shadowed_by\":{shadow}}}",
+        s.entry.line,
+        escape(s.entry.scope()),
+        escape(&s.entry.path),
+        escape(&s.entry.snippet)
+    )
+}
+
+/// Renders the full report. `findings` are the unsuppressed findings in
+/// their final (sorted) order; `suppressed` and `stale` document the
+/// allowlist's effect; `scanned` is the file count.
+pub fn json_report(
+    findings: &[Finding],
+    suppressed: &[Finding],
+    stale: &[StaleEntry],
+    scanned: usize,
+) -> String {
+    let clean = findings.is_empty() && stale.is_empty();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!("  \"clean\": {clean},\n"));
+    out.push_str(&format!("  \"files_scanned\": {scanned},\n"));
+    for (key, list) in [("findings", findings), ("suppressed", suppressed)] {
+        out.push_str(&format!("  \"{key}\": [\n"));
+        for (i, f) in list.iter().enumerate() {
+            let comma = if i + 1 < list.len() { "," } else { "" };
+            out.push_str(&format!("    {}{comma}\n", finding_json(f)));
+        }
+        out.push_str("  ],\n");
+    }
+    out.push_str("  \"stale_allow_entries\": [\n");
+    for (i, s) in stale.iter().enumerate() {
+        let comma = if i + 1 < stale.len() { "," } else { "" };
+        out.push_str(&format!("    {}{comma}\n", stale_json(s)));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allow::AllowEntry;
+
+    fn finding() -> Finding {
+        Finding {
+            lint: "no-panic",
+            path: "crates/core/src/a.rs".to_string(),
+            line: 3,
+            message: "say \"no\"\tplease".to_string(),
+            snippet: "x.unwrap()".to_string(),
+        }
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn report_is_schema_versioned_and_order_preserving() {
+        let a = finding();
+        let mut b = finding();
+        b.line = 9;
+        let out = json_report(&[a, b], &[], &[], 42);
+        assert!(out.contains("\"schema\": \"adamel-check/v1\""));
+        assert!(out.contains("\"clean\": false"));
+        assert!(out.contains("\"files_scanned\": 42"));
+        let first = out.find("\"line\":3").expect("first finding present");
+        let second = out.find("\"line\":9").expect("second finding present");
+        assert!(first < second, "serialization preserves input order");
+        assert!(out.contains("say \\\"no\\\"\\tplease"));
+    }
+
+    #[test]
+    fn stale_entries_serialize_their_shadow() {
+        let entry = AllowEntry {
+            lint: Some("no-panic".to_string()),
+            path: "crates/core/src/a.rs".to_string(),
+            snippet: "unwrap".to_string(),
+            reason: "dup".to_string(),
+            line: 7,
+        };
+        let stale = StaleEntry {
+            entry,
+            shadowed_by: Some((2, "no-panic".to_string(), "crates/core/src/a.rs".to_string(), 3)),
+        };
+        let out = json_report(&[], &[], &[stale], 1);
+        assert!(out.contains("\"allow_line\":7"));
+        assert!(out.contains("\"shadowed_by\":{\"allow_line\":2"));
+        assert!(out.contains("\"clean\": false"), "stale entries are not clean");
+    }
+}

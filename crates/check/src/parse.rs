@@ -1,0 +1,479 @@
+//! A lightweight item/block tree parser over the token stream.
+//!
+//! This is deliberately *not* a full Rust parser: it recovers exactly the
+//! structure the analysis passes need — `fn` / `impl` / `mod` / `trait`
+//! nesting with token-index body ranges, item names, visibility, and
+//! `#[cfg(test)]` inheritance — and skips everything else by balanced
+//! delimiter matching. Function bodies are leaves: items nested inside a
+//! body (rare outside test modules) are attributed to the enclosing
+//! function, which over-approximates its call sites. See DESIGN.md §14 for
+//! the full list of approximations.
+
+use crate::lexer::{TokKind, Token};
+
+/// What kind of item an [`Item`] node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn name(..) { .. }` (or a bodiless trait method `fn name(..);`).
+    Fn,
+    /// `mod name { .. }` (or `mod name;`).
+    Mod,
+    /// `impl Type { .. }` / `impl Trait for Type { .. }`; `name` is the
+    /// self type's last path segment.
+    Impl,
+    /// `trait Name { .. }`.
+    Trait,
+}
+
+/// One node of the item tree.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Item kind.
+    pub kind: ItemKind,
+    /// Item name: the `fn`/`mod`/`trait` identifier, or the impl'd type's
+    /// last path segment.
+    pub name: String,
+    /// For `impl Trait for Type`, the trait's last path segment.
+    pub trait_name: Option<String>,
+    /// True for bare `pub` (restricted forms like `pub(crate)` count as
+    /// private: they are not part of the external API surface).
+    pub is_pub: bool,
+    /// True when the item (or an ancestor) carries `#[test]`/`#[cfg(test)]`.
+    pub is_test: bool,
+    /// 1-based line of the defining keyword.
+    pub line: usize,
+    /// Token index of the defining keyword (`fn`, `mod`, ...).
+    pub kw: usize,
+    /// Signature token range `[kw, body_open)` — for `fn`, covers name,
+    /// params, and return type; used to spot `-> MutexGuard` and the like.
+    pub sig: (usize, usize),
+    /// Token indices of the body's `{` and matching `}` (inclusive), if the
+    /// item has a brace body.
+    pub body: Option<(usize, usize)>,
+    /// Child items (for `mod`/`impl`/`trait` bodies; `fn` bodies are
+    /// leaves).
+    pub children: Vec<Item>,
+}
+
+/// Integer-type identifiers, shared by the passes' crude type inference.
+pub const INT_TYPES: &[&str] =
+    &["usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128"];
+
+/// Parses a whole file's token stream into a tree of items.
+pub fn parse_items(toks: &[Token]) -> Vec<Item> {
+    parse_range(toks, 0, toks.len(), false)
+}
+
+/// Returns the index of the `}` matching the `{` at `open` (or the last
+/// token index when unbalanced — best effort, like the lexer).
+pub fn match_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 1usize;
+    let mut i = open + 1;
+    while i < toks.len() {
+        if toks[i].is_punct("{") {
+            depth += 1;
+        } else if toks[i].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// True when the attribute token slice (between `#[` and `]`) marks test
+/// code: `#[test]` or any `#[cfg(..)]` mentioning `test`.
+fn is_test_attr(attr: &[&Token]) -> bool {
+    match attr.first() {
+        Some(t) if t.is_ident("test") => attr.len() == 1,
+        Some(t) if t.is_ident("cfg") => attr.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+/// Scans from `i` for the first `{` or `;` at paren/bracket depth 0.
+/// Returns `(index, is_brace)`; saturates at `hi` for malformed input.
+fn find_body_open(toks: &[Token], i: usize, hi: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < hi {
+        let t = &toks[j];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 {
+            if t.is_punct("{") {
+                return (j, true);
+            }
+            if t.is_punct(";") {
+                return (j, false);
+            }
+        }
+        j += 1;
+    }
+    (hi.saturating_sub(1).max(i), false)
+}
+
+/// Skips a balanced `<...>` generic group starting at `open` (which must be
+/// `<`). Counts the shift tokens as two angles. Returns the index just past
+/// the closing `>`.
+fn skip_angles(toks: &[Token], open: usize, hi: usize) -> usize {
+    let mut depth = 0isize;
+    let mut j = open;
+    while j < hi {
+        match toks[j].text.as_str() {
+            "<" => depth += 1,
+            ">" => depth -= 1,
+            "<<" => depth += 2,
+            ">>" => depth -= 2,
+            _ => {}
+        }
+        j += 1;
+        if depth <= 0 {
+            break;
+        }
+    }
+    j
+}
+
+/// Parses items in the token range `[lo, hi)`; `in_test` marks inherited
+/// `#[cfg(test)]` scope.
+fn parse_range(toks: &[Token], lo: usize, hi: usize, in_test: bool) -> Vec<Item> {
+    let mut items = Vec::new();
+    let mut i = lo;
+    let mut pending_pub = false;
+    let mut pending_test = false;
+
+    let reset = |pp: &mut bool, pt: &mut bool| {
+        *pp = false;
+        *pt = false;
+    };
+
+    while i < hi {
+        let t = &toks[i];
+
+        // Attributes: record test-ness, skip the group. `#![..]` inner
+        // attributes are skipped the same way.
+        if t.is_punct("#") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_punct("!")) {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.is_punct("[")) {
+                let mut depth = 1usize;
+                let mut k = j + 1;
+                let mut attr: Vec<&Token> = Vec::new();
+                while k < hi && depth > 0 {
+                    if toks[k].is_punct("[") {
+                        depth += 1;
+                    } else if toks[k].is_punct("]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    attr.push(&toks[k]);
+                    k += 1;
+                }
+                pending_test = pending_test || is_test_attr(&attr);
+                i = k + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+
+        if t.kind != TokKind::Ident {
+            i += 1;
+            reset(&mut pending_pub, &mut pending_test);
+            continue;
+        }
+
+        match t.text.as_str() {
+            "pub" => {
+                if toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+                    // pub(crate) / pub(super): restricted, not external API.
+                    let mut depth = 1usize;
+                    let mut j = i + 2;
+                    while j < hi && depth > 0 {
+                        if toks[j].is_punct("(") {
+                            depth += 1;
+                        } else if toks[j].is_punct(")") {
+                            depth -= 1;
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                } else {
+                    pending_pub = true;
+                    i += 1;
+                }
+            }
+            // Transparent qualifiers before `fn`/`impl`.
+            "unsafe" | "async" => i += 1,
+            "const" | "extern" if next_item_kw_is_fn(toks, i + 1, hi) => i += 1,
+            "fn" => {
+                let name =
+                    toks.get(i + 1).filter(|n| n.kind == TokKind::Ident).map(|n| n.text.clone());
+                let (open, is_brace) = find_body_open(toks, i + 1, hi);
+                let body = if is_brace { Some((open, match_brace(toks, open))) } else { None };
+                items.push(Item {
+                    kind: ItemKind::Fn,
+                    name: name.unwrap_or_default(),
+                    trait_name: None,
+                    is_pub: pending_pub,
+                    is_test: in_test || pending_test,
+                    line: t.line,
+                    kw: i,
+                    sig: (i, open),
+                    body,
+                    children: Vec::new(),
+                });
+                i = body.map_or(open + 1, |(_, close)| close + 1);
+                reset(&mut pending_pub, &mut pending_test);
+            }
+            "mod" => {
+                let name =
+                    toks.get(i + 1).filter(|n| n.kind == TokKind::Ident).map(|n| n.text.clone());
+                let (open, is_brace) = find_body_open(toks, i + 1, hi);
+                let test = in_test || pending_test;
+                let (body, children) = if is_brace {
+                    let close = match_brace(toks, open);
+                    (Some((open, close)), parse_range(toks, open + 1, close, test))
+                } else {
+                    (None, Vec::new())
+                };
+                items.push(Item {
+                    kind: ItemKind::Mod,
+                    name: name.unwrap_or_default(),
+                    trait_name: None,
+                    is_pub: pending_pub,
+                    is_test: test,
+                    line: t.line,
+                    kw: i,
+                    sig: (i, open),
+                    body,
+                    children,
+                });
+                i = body.map_or(open + 1, |(_, close)| close + 1);
+                reset(&mut pending_pub, &mut pending_test);
+            }
+            "impl" => {
+                let (type_name, trait_name, open) = parse_impl_header(toks, i + 1, hi);
+                let test = in_test || pending_test;
+                let close = match_brace(toks, open);
+                let children = parse_range(toks, open + 1, close, test);
+                items.push(Item {
+                    kind: ItemKind::Impl,
+                    name: type_name,
+                    trait_name,
+                    is_pub: false,
+                    is_test: test,
+                    line: t.line,
+                    kw: i,
+                    sig: (i, open),
+                    body: Some((open, close)),
+                    children,
+                });
+                i = close + 1;
+                reset(&mut pending_pub, &mut pending_test);
+            }
+            "trait" => {
+                let name =
+                    toks.get(i + 1).filter(|n| n.kind == TokKind::Ident).map(|n| n.text.clone());
+                let (open, is_brace) = find_body_open(toks, i + 1, hi);
+                let test = in_test || pending_test;
+                let (body, children) = if is_brace {
+                    let close = match_brace(toks, open);
+                    (Some((open, close)), parse_range(toks, open + 1, close, test))
+                } else {
+                    (None, Vec::new())
+                };
+                items.push(Item {
+                    kind: ItemKind::Trait,
+                    name: name.unwrap_or_default(),
+                    trait_name: None,
+                    is_pub: pending_pub,
+                    is_test: test,
+                    line: t.line,
+                    kw: i,
+                    sig: (i, open),
+                    body,
+                    children,
+                });
+                i = body.map_or(open + 1, |(_, close)| close + 1);
+                reset(&mut pending_pub, &mut pending_test);
+            }
+            // Items we only need to skip correctly.
+            "struct" | "enum" | "union" | "macro_rules" => {
+                let (open, is_brace) = find_body_open(toks, i + 1, hi);
+                i = if is_brace { match_brace(toks, open) + 1 } else { open + 1 };
+                reset(&mut pending_pub, &mut pending_test);
+            }
+            "use" | "type" | "static" | "const" | "extern" => {
+                let (open, is_brace) = find_body_open(toks, i + 1, hi);
+                // `extern "C" { .. }` blocks have a brace body; the rest
+                // end at `;`.
+                i = if is_brace { match_brace(toks, open) + 1 } else { open + 1 };
+                reset(&mut pending_pub, &mut pending_test);
+            }
+            _ => {
+                i += 1;
+                reset(&mut pending_pub, &mut pending_test);
+            }
+        }
+    }
+    items
+}
+
+/// True when the item keyword after qualifier position `i` is `fn` (so
+/// `const fn` / `extern "C" fn` are qualifiers, not items).
+fn next_item_kw_is_fn(toks: &[Token], i: usize, hi: usize) -> bool {
+    let mut j = i;
+    while j < hi {
+        let t = &toks[j];
+        if t.kind == TokKind::Str || t.is_ident("unsafe") || t.is_ident("async") {
+            j += 1;
+            continue;
+        }
+        return t.is_ident("fn");
+    }
+    false
+}
+
+/// Parses an `impl` header starting just past the `impl` keyword: skips the
+/// generic parameter list, then reads path segments until the body `{`,
+/// tracking the last segment before/after `for` and stopping at `where`.
+/// Returns `(type_name, trait_name, body_open_index)`.
+fn parse_impl_header(toks: &[Token], i: usize, hi: usize) -> (String, Option<String>, usize) {
+    let mut j = i;
+    if toks.get(j).is_some_and(|t| t.text == "<") {
+        j = skip_angles(toks, j, hi);
+    }
+    let mut first = String::new(); // trait (if `for` appears) or the type
+    let mut second: Option<String> = None; // type, when `for` appeared
+    let mut saw_for = false;
+    let mut in_where = false;
+    while j < hi {
+        let t = &toks[j];
+        if t.is_punct("{") {
+            let name = second.clone().unwrap_or_else(|| first.clone());
+            let trait_name = if saw_for { Some(first) } else { None };
+            return (name, trait_name, j);
+        }
+        if !in_where {
+            if t.is_ident("for") {
+                saw_for = true;
+                second = Some(String::new());
+            } else if t.is_ident("where") {
+                in_where = true;
+            } else if t.text == "<" {
+                j = skip_angles(toks, j, hi);
+                continue;
+            } else if t.kind == TokKind::Ident && !t.is_ident("dyn") && !t.is_ident("mut") {
+                match &mut second {
+                    Some(s) if saw_for => *s = t.text.clone(),
+                    _ => first = t.text.clone(),
+                }
+            }
+        }
+        j += 1;
+    }
+    (
+        second.unwrap_or(first.clone()),
+        if saw_for { Some(first) } else { None },
+        hi.saturating_sub(1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<Item> {
+        parse_items(&lex(src))
+    }
+
+    #[test]
+    fn top_level_fns_with_bodies_and_vis() {
+        let items = parse("pub fn a() -> u8 { 1 }\nfn b() {}\npub(crate) fn c() {}");
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].name, "a");
+        assert!(items[0].is_pub);
+        assert!(items[0].body.is_some());
+        assert!(!items[1].is_pub);
+        assert!(!items[2].is_pub, "pub(crate) is not external API");
+    }
+
+    #[test]
+    fn impl_blocks_nest_methods_with_type_name() {
+        let items = parse(
+            "struct S;\nimpl S { pub fn m(&self) {} fn p(&self) {} }\n\
+             impl Clone for S { fn clone(&self) -> S { S } }",
+        );
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].kind, ItemKind::Impl);
+        assert_eq!(items[0].name, "S");
+        assert_eq!(items[0].children.len(), 2);
+        assert!(items[0].children[0].is_pub);
+        assert_eq!(items[1].trait_name.as_deref(), Some("Clone"));
+        assert_eq!(items[1].name, "S");
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_self_type() {
+        let items = parse("impl<T: Clone> Wrap<T> where T: Send { fn get(&self) {} }");
+        assert_eq!(items[0].name, "Wrap");
+        assert_eq!(items[0].children.len(), 1);
+        let items = parse("impl<'a> Iterator for Iter<'a> { fn next(&mut self) {} }");
+        assert_eq!(items[0].name, "Iter");
+        assert_eq!(items[0].trait_name.as_deref(), Some("Iterator"));
+    }
+
+    #[test]
+    fn cfg_test_marks_whole_subtree() {
+        let items =
+            parse("#[cfg(test)]\nmod tests { fn helper() {} #[test] fn t() {} }\npub fn real() {}");
+        assert_eq!(items[0].kind, ItemKind::Mod);
+        assert!(items[0].is_test);
+        assert!(items[0].children.iter().all(|c| c.is_test));
+        assert!(!items[1].is_test);
+    }
+
+    #[test]
+    fn fn_bodies_are_leaves_and_braces_balance() {
+        let items = parse("fn outer() { if x { y(); } match z { _ => {} } }\nfn after() {}");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1].name, "after");
+    }
+
+    #[test]
+    fn struct_enum_use_and_consts_are_skipped() {
+        let items = parse(
+            "use std::fmt;\nconst N: usize = 3;\nstruct P(u8);\nenum E { A, B }\n\
+             static S: u8 = 0;\ntype T = u8;\npub fn real() {}",
+        );
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "real");
+    }
+
+    #[test]
+    fn trait_decls_keep_bodiless_methods() {
+        let items = parse("pub trait T { fn req(&self); fn prov(&self) {} }");
+        assert_eq!(items[0].kind, ItemKind::Trait);
+        assert_eq!(items[0].children.len(), 2);
+        assert!(items[0].children[0].body.is_none());
+        assert!(items[0].children[1].body.is_some());
+    }
+
+    #[test]
+    fn mod_without_body_and_nested_mods() {
+        let items = parse("mod decl;\nmod a { mod b { fn f() {} } }");
+        assert_eq!(items[0].body, None);
+        assert_eq!(items[1].children[0].children[0].name, "f");
+    }
+}

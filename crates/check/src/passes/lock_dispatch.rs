@@ -1,0 +1,298 @@
+//! `lock-across-dispatch`: a `MutexGuard` must not be live across a call
+//! into `adamel_tensor::parallel` dispatch.
+//!
+//! A worker closure that re-locks the mutex its caller is holding
+//! deadlocks, and even a read-only guard serializes the very section the
+//! dispatch tried to parallelize. The `FeatureExtractor` encoding cache's
+//! lock-once-per-batch discipline is the one deliberate exception (the
+//! guard is reborrowed as `&EncodeCache` shared state, and workers never
+//! re-lock) — it carries a reasoned `lint.allow` entry, which is exactly
+//! the point: the invariant is now machine-checked and the exception is
+//! documented.
+//!
+//! Guard acquisitions are `.lock()` calls plus calls to any workspace
+//! function whose signature mentions `MutexGuard` (e.g.
+//! `FeatureExtractor::lock_cache`). The live range runs from the
+//! acquisition to the end of the enclosing block for `let`-bound guards
+//! (shortened by an explicit `drop(guard)`), or to the end of the
+//! statement for temporaries. A dispatch inside the range is flagged if it
+//! calls one of [`super::DISPATCH_FNS`] directly or (via the call graph)
+//! any function that may transitively dispatch. Test code is masked:
+//! test-serialization guards legitimately span dispatches.
+
+use crate::callgraph::{resolve_call_at, CallGraph};
+use crate::lexer::{TokKind, Token};
+use crate::lints::Finding;
+use crate::symbols::Workspace;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Runs the pass over `ws` + `graph`.
+pub fn run(ws: &Workspace, graph: &CallGraph) -> Vec<Finding> {
+    let may_dispatch = may_dispatch_set(ws, graph);
+    let lock_returning = lock_returning_names(ws);
+
+    let mut findings = Vec::new();
+    for f in ws.fns.iter() {
+        if f.is_test {
+            continue;
+        }
+        let Some((b0, b1)) = f.body else { continue };
+        let file = &ws.files[f.file];
+        let toks = &file.toks;
+
+        let mut j = b0;
+        while j <= b1 && j < toks.len() {
+            let acquired = is_lock_acquisition(toks, j, &lock_returning);
+            if !acquired {
+                j += 1;
+                continue;
+            }
+            let (guard, range_end) = guard_live_range(toks, j, b1);
+            let lock_line = toks[j].line;
+            let mut k = j + 1;
+            while k <= range_end && k < toks.len() {
+                if let Some(desc) = dispatch_at(ws, toks, k, &may_dispatch) {
+                    let name = guard.clone().unwrap_or_else(|| "<temporary>".to_string());
+                    findings.push(Finding {
+                        lint: "lock-across-dispatch",
+                        path: file.path.clone(),
+                        line: toks[k].line,
+                        message: format!(
+                            "{desc} while MutexGuard `{name}` (locked at line {lock_line}) is \
+                             live; drop the guard before dispatching, or allowlist the \
+                             documented lock discipline"
+                        ),
+                        snippet: ws.snippet(f.file, toks[k].line),
+                    });
+                }
+                k += 1;
+            }
+            j += 1;
+        }
+    }
+    findings
+}
+
+/// Function ids that may (transitively) call into parallel dispatch.
+///
+/// Propagation only follows *unique* call edges (resolution found exactly
+/// one candidate): the name-based call graph resolves a common method name
+/// like `.push(` or `.clone()` to every same-named method in the
+/// workspace, and chasing those collision edges would mark nearly every
+/// function as may-dispatch. A chain the lint misses because one hop was
+/// ambiguous still has its direct dispatch guarded at the innermost
+/// caller.
+fn may_dispatch_set(ws: &Workspace, graph: &CallGraph) -> BTreeSet<usize> {
+    let mut set = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    for (id, f) in ws.fns.iter().enumerate() {
+        let Some((b0, b1)) = f.body else { continue };
+        let toks = &ws.files[f.file].toks;
+        let direct =
+            (b0..=b1.min(toks.len().saturating_sub(1))).any(|i| super::is_direct_dispatch(toks, i));
+        if direct && set.insert(id) {
+            queue.push_back(id);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        for &caller in &graph.callers[id] {
+            let via_unique = graph.calls[caller].iter().any(|c| c.callee == id && c.unique);
+            if via_unique && set.insert(caller) {
+                queue.push_back(caller);
+            }
+        }
+    }
+    set
+}
+
+/// Names of workspace functions whose signature mentions a guard type —
+/// calling one acquires a lock the caller now holds.
+fn lock_returning_names(ws: &Workspace) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for f in &ws.fns {
+        let toks = &ws.files[f.file].toks;
+        let (s0, s1) = f.sig;
+        let guardy = toks[s0..s1.min(toks.len())].iter().any(|t| {
+            t.is_ident("MutexGuard")
+                || t.is_ident("RwLockReadGuard")
+                || t.is_ident("RwLockWriteGuard")
+        });
+        if guardy {
+            names.insert(f.name.clone());
+        }
+    }
+    names
+}
+
+/// True when token `j` starts a lock acquisition: the `lock` of
+/// `recv.lock(`, or a call to a guard-returning workspace function.
+fn is_lock_acquisition(toks: &[Token], j: usize, lock_returning: &BTreeSet<String>) -> bool {
+    if !super::is_call(toks, j) {
+        return false;
+    }
+    let prev_is_dot = j > 0 && toks[j - 1].is_punct(".");
+    if toks[j].is_ident("lock") && prev_is_dot {
+        return true;
+    }
+    if toks[j].is_ident("try_lock") || toks[j].is_ident("read") || toks[j].is_ident("write") {
+        // try_lock/read/write guards matter just as much, but `read`/
+        // `write` collide with io traits; only flag them on a `.lock`-like
+        // receiver we cannot see. Keep to explicit guard-returning helpers.
+    }
+    lock_returning.contains(&toks[j].text)
+}
+
+/// Determines the guard binding and its live-range end for the acquisition
+/// at `j`: `let`-bound guards live to the enclosing block's close or an
+/// explicit `drop(name)`; temporaries (including `let _ = ..`) live to the
+/// statement's end.
+fn guard_live_range(toks: &[Token], j: usize, hi: usize) -> (Option<String>, usize) {
+    // Find the statement start: the token after the nearest `;`/`{`/`}`.
+    let mut s = j;
+    while s > 0 {
+        let t = &toks[s - 1];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            break;
+        }
+        s -= 1;
+    }
+    let binding = if toks.get(s).is_some_and(|t| t.is_ident("let")) {
+        let mut k = s + 1;
+        if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+            k += 1;
+        }
+        toks.get(k).filter(|t| t.kind == TokKind::Ident && t.text != "_").map(|t| t.text.clone())
+    } else {
+        None
+    };
+    match binding {
+        Some(name) => {
+            let block_end = super::enclosing_block_end(toks, j, hi);
+            // An explicit drop(name) ends the range early.
+            let mut k = j;
+            while k + 2 <= block_end && k + 2 < toks.len() {
+                if toks[k].is_ident("drop")
+                    && toks[k + 1].is_punct("(")
+                    && toks[k + 2].is_ident(&name)
+                {
+                    return (Some(name), k);
+                }
+                k += 1;
+            }
+            (Some(name), block_end)
+        }
+        None => (None, super::statement_end(toks, j, hi)),
+    }
+}
+
+/// If token `k` heads a call that dispatches (directly or transitively),
+/// returns a description for the finding message.
+fn dispatch_at(
+    ws: &Workspace,
+    toks: &[Token],
+    k: usize,
+    may_dispatch: &BTreeSet<usize>,
+) -> Option<String> {
+    if !super::is_call(toks, k) {
+        return None;
+    }
+    if super::DISPATCH_FNS.contains(&toks[k].text.as_str()) {
+        return Some(format!("parallel dispatch `{}(..)`", toks[k].text));
+    }
+    // Transitive dispatch is only trusted when the call resolves to exactly
+    // one candidate — see `may_dispatch_set` for why.
+    let callees = resolve_call_at(ws, toks, k);
+    let [only] = callees.as_slice() else { return None };
+    if !may_dispatch.contains(only) {
+        return None;
+    }
+    Some(format!(
+        "call to `{}` (which may dispatch into adamel_tensor::parallel)",
+        ws.fns[*only].qualified(ws)
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let ws = Workspace::from_sources(vec![(
+            "crates/schema/src/lib.rs".to_string(),
+            src.to_string(),
+        )]);
+        let graph = callgraph::build(&ws);
+        run(&ws, &graph)
+    }
+
+    const GUARD_ACROSS: &str = "pub fn bad(m: &std::sync::Mutex<u8>) {\n\
+                                \x20   let guard = m.lock().unwrap_or_else(|p| p.into_inner());\n\
+                                \x20   parallel_for_rows(&mut [], 1, 1, |_, _| {});\n\
+                                \x20   let _ = *guard;\n}";
+
+    #[test]
+    fn guard_spanning_dispatch_is_flagged() {
+        let out = run_on(GUARD_ACROSS);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].lint, "lock-across-dispatch");
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("`guard`"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn dropping_the_guard_first_is_clean() {
+        let out = run_on(
+            "pub fn good(m: &std::sync::Mutex<u8>) {\n\
+             \x20   let guard = m.lock().unwrap_or_else(|p| p.into_inner());\n\
+             \x20   drop(guard);\n\
+             \x20   parallel_for_rows(&mut [], 1, 1, |_, _| {});\n}",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn block_scoped_guard_is_clean() {
+        let out = run_on(
+            "pub fn good(m: &std::sync::Mutex<u8>) {\n\
+             \x20   { let _guard = m.lock().unwrap_or_else(|p| p.into_inner()); }\n\
+             \x20   parallel_for_rows(&mut [], 1, 1, |_, _| {});\n}",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn guard_returning_helper_counts_as_acquisition() {
+        let out = run_on(
+            "use std::sync::MutexGuard;\n\
+             struct S { m: std::sync::Mutex<u8> }\n\
+             impl S {\n\
+             fn lock_it(&self) -> MutexGuard<'_, u8> { self.m.lock().unwrap_or_else(|p| p.into_inner()) }\n\
+             pub fn bad(&self) {\n\
+             \x20   let g = self.lock_it();\n\
+             \x20   parallel_for_rows(&mut [], 1, 1, |_, _| {});\n\
+             \x20   let _ = *g;\n}\n}",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`g`"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn transitive_dispatch_through_a_helper_is_flagged() {
+        let out = run_on(
+            "fn helper() { parallel_map_collect(4, 1, |i| i); }\n\
+             pub fn bad(m: &std::sync::Mutex<u8>) {\n\
+             \x20   let guard = m.lock().unwrap_or_else(|p| p.into_inner());\n\
+             \x20   helper();\n\
+             \x20   let _ = *guard;\n}",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("helper"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn tests_are_masked() {
+        let out = run_on(&format!("#[cfg(test)]\nmod t {{ {GUARD_ACROSS} }}"));
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

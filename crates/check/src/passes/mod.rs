@@ -1,0 +1,100 @@
+//! Call-graph analysis passes.
+//!
+//! Unlike the token-pattern lints in [`crate::lints`], these passes run
+//! over the whole-workspace item tree, symbol table, and approximate call
+//! graph:
+//!
+//! | id | rule |
+//! |----|------|
+//! | [`panic-reachability`](panic_reach)      | no public library function may reach a `panic!`/`unwrap`/`expect`/indexing/integer-division site |
+//! | [`lock-across-dispatch`](lock_dispatch)  | no `MutexGuard` live range may span a call into `adamel_tensor::parallel` dispatch |
+//! | [`nondeterministic-reduction`](nondet_reduction) | no float accumulation into captured state inside a parallel worker closure |
+//!
+//! All three are approximations with a documented bias (DESIGN.md §14):
+//! reachability over-approximates (name-resolved call edges), the seed and
+//! accumulation detectors under-approximate (they only flag what crude
+//! local type inference can establish). Deliberate violations go through
+//! `lint.allow` with a reason, exactly like the token lints.
+
+pub mod lock_dispatch;
+pub mod nondet_reduction;
+pub mod panic_reach;
+
+use crate::callgraph::CallGraph;
+use crate::lexer::{TokKind, Token};
+use crate::lints::Finding;
+use crate::symbols::Workspace;
+
+/// The `adamel_tensor::parallel` entry points a worker closure is handed
+/// to. Kept in one place so the two parallel-discipline passes agree.
+pub const DISPATCH_FNS: &[&str] =
+    &["parallel_for_rows", "parallel_for_row_blocks", "parallel_map_collect"];
+
+/// Runs every pass and returns the combined findings, sorted by
+/// (path, line, lint) with at most one finding per (lint, path, line).
+pub fn run_all(ws: &Workspace, graph: &CallGraph) -> Vec<Finding> {
+    let mut findings = panic_reach::run(ws, graph);
+    findings.extend(lock_dispatch::run(ws, graph));
+    findings.extend(nondet_reduction::run(ws));
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.lint, &a.message).cmp(&(&b.path, b.line, b.lint, &b.message))
+    });
+    findings.dedup_by(|a, b| a.lint == b.lint && a.path == b.path && a.line == b.line);
+    findings
+}
+
+/// True when the identifier at `i` is a call head: `name(`.
+pub(crate) fn is_call(toks: &[Token], i: usize) -> bool {
+    toks[i].kind == TokKind::Ident && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+}
+
+/// True when the call at `i` targets one of [`DISPATCH_FNS`] textually.
+pub(crate) fn is_direct_dispatch(toks: &[Token], i: usize) -> bool {
+    is_call(toks, i) && DISPATCH_FNS.contains(&toks[i].text.as_str())
+}
+
+/// Scans forward from `from` (exclusive of the enclosing block's `{`) and
+/// returns the index just before the enclosing block closes — i.e. where a
+/// binding made at `from` goes out of scope. Statement-level `;` does not
+/// stop the scan.
+pub(crate) fn enclosing_block_end(toks: &[Token], from: usize, hi: usize) -> usize {
+    let mut depth = 0isize;
+    let mut j = from;
+    while j <= hi && j < toks.len() {
+        if toks[j].is_punct("{") {
+            depth += 1;
+        } else if toks[j].is_punct("}") {
+            depth -= 1;
+            if depth < 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    hi.min(toks.len().saturating_sub(1))
+}
+
+/// Scans forward from `from` to the end of the current statement: the
+/// first `;` at delimiter depth 0, or the enclosing block's close if the
+/// expression is a tail expression.
+pub(crate) fn statement_end(toks: &[Token], from: usize, hi: usize) -> usize {
+    let mut depth = 0isize;
+    let mut j = from;
+    while j <= hi && j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth < 0 {
+                return j;
+            }
+        } else if t.is_punct(";") && depth == 0 {
+            return j;
+        }
+        j += 1;
+    }
+    hi.min(toks.len().saturating_sub(1))
+}

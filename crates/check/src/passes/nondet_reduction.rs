@@ -1,0 +1,407 @@
+//! `nondeterministic-reduction`: no float accumulation into captured state
+//! inside a parallel worker closure.
+//!
+//! `adamel_tensor::parallel` guarantees bit-identical results regardless of
+//! worker count, and every dispatch keeps that promise the same way: each
+//! worker only writes state it owns (its row, its block, its output slot),
+//! so no cross-worker combine order exists. A worker closure that instead
+//! accumulates into *captured* state (`sum += row[j]`, `self.total *= x`)
+//! re-introduces a combine whose order depends on how rows are sharded
+//! across workers — and float addition is not associative, so the result
+//! changes with the thread count. This pass flags exactly that shape:
+//! a compound float assignment (`+=`, `-=`, `*=`, `/=`) inside a closure
+//! passed to one of [`super::DISPATCH_FNS`], whose target's base
+//! identifier is not closure-local (a param, `let`, or `for` binding of
+//! the closure itself).
+//!
+//! Float evidence is crude and local, biasing toward silence: the
+//! statement must contain a float literal or an `f32`/`f64` token, or the
+//! target must be float-typed in the enclosing function (DESIGN.md §14).
+//! Integer accumulation is associative and not flagged.
+
+use crate::lexer::{TokKind, Token};
+use crate::lints::Finding;
+use crate::parse::match_brace;
+use crate::symbols::Workspace;
+use std::collections::BTreeSet;
+
+/// Runs the pass over `ws`.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in ws.fns.iter() {
+        if f.is_test {
+            continue;
+        }
+        let file = &ws.files[f.file];
+        let toks = &file.toks;
+        let Some((b0, b1)) = f.body else { continue };
+        let float_names = float_typed_names(toks, f.sig, (b0, b1));
+
+        let mut i = b0;
+        while i <= b1 && i < toks.len() {
+            if !super::is_direct_dispatch(toks, i) {
+                i += 1;
+                continue;
+            }
+            let args_close = matching_paren(toks, i + 1);
+            for clo in closures_in(toks, i + 2, args_close) {
+                check_closure(toks, &clo, &float_names, |line, target| {
+                    findings.push(Finding {
+                        lint: "nondeterministic-reduction",
+                        path: file.path.clone(),
+                        line,
+                        message: format!(
+                            "float accumulation into captured `{target}` inside a `{}` worker \
+                             closure; the combine order depends on the worker count, so results \
+                             change with threads — reduce into per-worker state and combine \
+                             deterministically after the dispatch",
+                            toks[i].text
+                        ),
+                        snippet: ws.snippet(f.file, line),
+                    });
+                });
+            }
+            i += 1;
+        }
+    }
+    findings
+}
+
+/// A closure argument: its locals (params + bindings) and body token range.
+struct Closure {
+    locals: BTreeSet<String>,
+    body: (usize, usize),
+}
+
+/// Index of the `)` matching the `(` at `open` (best effort).
+fn matching_paren(toks: &[Token], open: usize) -> usize {
+    let mut depth = 1usize;
+    let mut j = open + 1;
+    while j < toks.len() {
+        if toks[j].is_punct("(") {
+            depth += 1;
+        } else if toks[j].is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Finds closure literals between `lo` and `hi` (the dispatch call's
+/// argument tokens). A closure starts at a `|` / `||` punct preceded by
+/// `(`, `,`, or `move` — which excludes bitwise-or, whose left operand is
+/// an expression.
+fn closures_in(toks: &[Token], lo: usize, hi: usize) -> Vec<Closure> {
+    let mut out = Vec::new();
+    let mut j = lo;
+    while j < hi && j < toks.len() {
+        let starts = (toks[j].is_punct("|") || toks[j].is_punct("||"))
+            && j > 0
+            && (toks[j - 1].is_punct("(")
+                || toks[j - 1].is_punct(",")
+                || toks[j - 1].is_ident("move"));
+        if !starts {
+            j += 1;
+            continue;
+        }
+        let mut locals = BTreeSet::new();
+        let params_end = if toks[j].is_punct("||") {
+            j // no params
+        } else {
+            let mut k = j + 1;
+            while k < hi && !toks[k].is_punct("|") {
+                // Param names and their type idents both land in `locals`;
+                // the extra type names only ever suppress, never flag.
+                if toks[k].kind == TokKind::Ident {
+                    locals.insert(toks[k].text.clone());
+                }
+                k += 1;
+            }
+            k
+        };
+        // Body: a brace block, or an expression running to the `,`/`)` that
+        // ends this argument.
+        let mut b = params_end + 1;
+        // Skip a `-> Type` return annotation before a brace body.
+        while b < hi && !toks[b].is_punct("{") && !toks[b].is_punct(",") && !toks[b].is_punct(")") {
+            b += 1;
+        }
+        let body = if b < hi && toks[b].is_punct("{") {
+            (b, match_brace(toks, b))
+        } else {
+            (params_end + 1, expression_arg_end(toks, params_end + 1, hi))
+        };
+        collect_locals(toks, body, &mut locals);
+        out.push(Closure { locals, body });
+        j = body.1 + 1;
+    }
+    out
+}
+
+/// End of an expression-bodied closure argument: the token before the
+/// first `,` or `)` at delimiter depth 0.
+fn expression_arg_end(toks: &[Token], from: usize, hi: usize) -> usize {
+    let mut depth = 0isize;
+    let mut j = from;
+    while j < hi && j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            if depth == 0 {
+                return j.saturating_sub(1).max(from);
+            }
+            depth -= 1;
+        } else if t.is_punct(",") && depth == 0 {
+            return j.saturating_sub(1).max(from);
+        }
+        j += 1;
+    }
+    hi.saturating_sub(1).max(from)
+}
+
+/// Adds `let`/`for` bindings (including tuple patterns) made inside the
+/// body range to `locals`.
+fn collect_locals(toks: &[Token], body: (usize, usize), locals: &mut BTreeSet<String>) {
+    let (lo, hi) = body;
+    let mut j = lo;
+    while j <= hi && j < toks.len() {
+        if toks[j].is_ident("let") || toks[j].is_ident("for") {
+            // Bind every ident in the pattern, up to `=` (let) or `in`
+            // (for). Type annotations after `:` also land here — harmless,
+            // see `closures_in`.
+            let mut k = j + 1;
+            while k <= hi && k < toks.len() {
+                let t = &toks[k];
+                if t.is_punct("=") || t.is_ident("in") || t.is_punct(";") || t.is_punct("{") {
+                    break;
+                }
+                if t.kind == TokKind::Ident && !t.is_ident("mut") && !t.is_ident("ref") {
+                    locals.insert(t.text.clone());
+                }
+                k += 1;
+            }
+            j = k;
+            continue;
+        }
+        j += 1;
+    }
+}
+
+/// Scans a closure body for compound float assignments to captured targets
+/// and reports each via `emit(line, target)`.
+fn check_closure(
+    toks: &[Token],
+    clo: &Closure,
+    float_names: &BTreeSet<&str>,
+    mut emit: impl FnMut(usize, &str),
+) {
+    let (lo, hi) = clo.body;
+    let mut j = lo;
+    while j <= hi && j < toks.len() {
+        let is_compound = toks[j].kind == TokKind::Punct
+            && matches!(toks[j].text.as_str(), "+=" | "-=" | "*=" | "/=");
+        if !is_compound {
+            j += 1;
+            continue;
+        }
+        if let Some(base) = target_base(toks, lo, j) {
+            let captured = base == "self" || !clo.locals.contains(base);
+            if captured && float_evidence(toks, lo, hi, j, base, float_names) {
+                emit(toks[j].line, base);
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Walks left from the compound-assign operator at `op` to the target's
+/// base identifier, through `[index]` groups, `.field` chains, and a
+/// leading `*` deref. `self.total`, `acc[i]`, and `*sum` all resolve to
+/// their leftmost identifier.
+fn target_base(toks: &[Token], lo: usize, op: usize) -> Option<&str> {
+    let mut j = op.checked_sub(1)?;
+    loop {
+        if toks[j].is_punct("]") {
+            // Balance back to the matching `[`.
+            let mut depth = 1usize;
+            while depth > 0 {
+                j = j.checked_sub(1)?;
+                if toks[j].is_punct("]") {
+                    depth += 1;
+                } else if toks[j].is_punct("[") {
+                    depth -= 1;
+                }
+            }
+            j = j.checked_sub(1)?;
+            continue;
+        }
+        if toks[j].kind == TokKind::Ident {
+            if j > lo && toks[j - 1].is_punct(".") {
+                j = j.checked_sub(2)?;
+                continue;
+            }
+            return Some(&toks[j].text);
+        }
+        return None;
+    }
+}
+
+/// Float evidence for the compound assignment at `op`: a float literal or
+/// `f32`/`f64` token in the statement, or a float-typed target.
+fn float_evidence(
+    toks: &[Token],
+    body_lo: usize,
+    body_hi: usize,
+    op: usize,
+    base: &str,
+    float_names: &BTreeSet<&str>,
+) -> bool {
+    if float_names.contains(base) {
+        return true;
+    }
+    let stmt_end = super::statement_end(toks, op, body_hi);
+    let mut stmt_start = op;
+    while stmt_start > body_lo {
+        let t = &toks[stmt_start - 1];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            break;
+        }
+        stmt_start -= 1;
+    }
+    toks[stmt_start..=stmt_end.min(toks.len().saturating_sub(1))]
+        .iter()
+        .any(|t| t.kind == TokKind::Float || t.is_ident("f32") || t.is_ident("f64"))
+}
+
+/// Names with local float-type evidence in the enclosing function:
+/// `name: [&mut] [[]Vec<] f32/f64` annotations and `name = <float>` inits.
+fn float_typed_names(toks: &[Token], sig: (usize, usize), body: (usize, usize)) -> BTreeSet<&str> {
+    let mut names = BTreeSet::new();
+    for (lo, hi) in [sig, body] {
+        let mut j = lo;
+        while j + 2 <= hi && j + 2 < toks.len() {
+            let (a, b, c) = (&toks[j], &toks[j + 1], &toks[j + 2]);
+            if a.kind == TokKind::Ident && b.is_punct(":") {
+                let mut k = j + 2;
+                let mut hops = 0;
+                while k < toks.len() && hops < 6 {
+                    let t = &toks[k];
+                    if t.is_ident("f32") || t.is_ident("f64") {
+                        names.insert(a.text.as_str());
+                        break;
+                    }
+                    let transparent = t.is_punct("&")
+                        || t.is_punct("[")
+                        || t.is_punct("<")
+                        || t.is_ident("mut")
+                        || t.is_ident("Vec");
+                    if !transparent {
+                        break;
+                    }
+                    k += 1;
+                    hops += 1;
+                }
+            }
+            if a.kind == TokKind::Ident && b.is_punct("=") && c.kind == TokKind::Float {
+                names.insert(a.text.as_str());
+            }
+            j += 1;
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let ws = Workspace::from_sources(vec![(
+            "crates/tensor/src/lib.rs".to_string(),
+            src.to_string(),
+        )]);
+        run(&ws)
+    }
+
+    #[test]
+    fn captured_float_accumulation_is_flagged() {
+        let out = run_on(
+            "pub fn bad(data: &mut [f32], width: usize) {\n\
+             \x20   let mut sum = 0.0f32;\n\
+             \x20   parallel_for_rows(data, width, 1, |i, row| {\n\
+             \x20       sum += row[0];\n\
+             \x20   });\n}",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].lint, "nondeterministic-reduction");
+        assert_eq!(out[0].line, 4);
+        assert!(out[0].message.contains("`sum`"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn per_row_accumulation_into_the_closure_param_is_clean() {
+        let out = run_on(
+            "pub fn good(data: &mut [f32], width: usize) {\n\
+             \x20   parallel_for_rows(data, width, 1, |i, row| {\n\
+             \x20       row[0] += 1.0;\n\
+             \x20       let mut local = 0.0f32;\n\
+             \x20       for v in row.iter() { local += *v; }\n\
+             \x20       row[1] = local;\n\
+             \x20   });\n}",
+        );
+        assert!(out.is_empty(), "param/let/for bindings are worker-local: {out:?}");
+    }
+
+    #[test]
+    fn integer_accumulation_is_not_flagged() {
+        let out = run_on(
+            "pub fn counts(data: &mut [f32], width: usize, hits: &mut usize) {\n\
+             \x20   parallel_for_rows(data, width, 1, |i, row| {\n\
+             \x20       let n: usize = row.len();\n\
+             \x20       *hits += n;\n\
+             \x20   });\n}",
+        );
+        assert!(out.is_empty(), "integer reduction is associative: {out:?}");
+    }
+
+    #[test]
+    fn self_field_target_and_deref_target_are_captured() {
+        let out = run_on(
+            "struct Acc { total: f64 }\n\
+             impl Acc {\n\
+             pub fn bad(&mut self, data: &mut [f32], width: usize) {\n\
+             \x20   parallel_for_rows(data, width, 1, |i, row| {\n\
+             \x20       self.total += row[0] as f64;\n\
+             \x20   });\n}\n}",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`self`"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn accumulation_outside_a_dispatch_closure_is_clean() {
+        let out = run_on(
+            "pub fn serial(xs: &[f32]) -> f32 {\n\
+             \x20   let mut sum = 0.0f32;\n\
+             \x20   for x in xs { sum += *x; }\n\
+             \x20   sum\n}",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn tests_are_masked() {
+        let out = run_on(
+            "#[cfg(test)]\nmod t {\n\
+             fn bad(data: &mut [f32], width: usize) {\n\
+             \x20   let mut sum = 0.0f32;\n\
+             \x20   parallel_for_rows(data, width, 1, |i, row| { sum += row[0]; });\n}\n}",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

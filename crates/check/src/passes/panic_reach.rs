@@ -1,0 +1,325 @@
+//! `panic-reachability`: no public library function may reach a panic.
+//!
+//! May-panic facts are seeded at explicit panic sites (`panic!`, `todo!`,
+//! `unimplemented!`, `unreachable!`, `.unwrap()`, `.expect(..)`), at
+//! slice/array/map indexing (`x[i]`), and at integer `/`/`%` whose divisor
+//! is a local the crude per-function type inference can establish as an
+//! integer. Facts propagate backward through the approximate call graph;
+//! each seed site that some bare-`pub` function of the eight library crates
+//! can reach is reported once, with a shortest witness path.
+//!
+//! Soundness caveats (DESIGN.md §14): asserts are treated as intended
+//! contract aborts, not accidental panics; arithmetic overflow, allocation
+//! failure, and divisions whose divisor type cannot be established locally
+//! are not seeded; call edges resolve by name, so a collision can make a
+//! panic look reachable that rustc's resolution would not reach — the
+//! witness path in the message is the evidence to audit.
+
+use crate::callgraph::{shortest_path_to_root, CallGraph};
+use crate::lexer::{TokKind, Token};
+use crate::lints::Finding;
+use crate::parse::INT_TYPES;
+use crate::symbols::Workspace;
+use std::collections::BTreeSet;
+
+/// The eight model/library crates the pass guards (directory names under
+/// `crates/`). The analysis tooling itself (`check`, `oracle`, `bench`) is
+/// not serving-path code and indexes its own token buffers freely.
+pub const LIBRARY_CRATES: &[&str] =
+    &["baselines", "core", "data", "metrics", "obs", "schema", "tensor", "text"];
+
+/// Macros that unconditionally panic when reached.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+/// Keywords that can directly precede a `[` that is *not* an indexing
+/// expression (`for x in [a, b]`, `return [0; 4]`, ...).
+const KEYWORDS: &[&str] = &[
+    "as", "break", "const", "dyn", "else", "in", "let", "loop", "match", "move", "mut", "ref",
+    "return", "static", "unsafe", "while", "yield",
+];
+
+struct Seed {
+    fn_id: usize,
+    line: usize,
+    desc: String,
+}
+
+/// Runs the pass over `ws` + `graph`.
+pub fn run(ws: &Workspace, graph: &CallGraph) -> Vec<Finding> {
+    let mut seeds: Vec<Seed> = Vec::new();
+    for (fn_id, f) in ws.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let file = &ws.files[f.file];
+        if file.is_bin || !LIBRARY_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        let Some((b0, b1)) = f.body else { continue };
+        collect_seeds(&file.toks, b0, b1, f.sig, fn_id, &mut seeds);
+    }
+
+    let is_root = |id: usize| {
+        let f = &ws.fns[id];
+        let file = &ws.files[f.file];
+        f.is_pub && !f.is_test && !file.is_bin && LIBRARY_CRATES.contains(&file.crate_name.as_str())
+    };
+
+    let mut findings = Vec::new();
+    let mut reported: BTreeSet<(usize, usize)> = BTreeSet::new(); // (file, line)
+    for seed in &seeds {
+        let Some(path) = shortest_path_to_root(ws, graph, seed.fn_id, is_root) else {
+            continue; // not reachable from any public library function
+        };
+        let f = &ws.fns[seed.fn_id];
+        if !reported.insert((f.file, seed.line)) {
+            continue; // one finding per source line
+        }
+        let witness = witness(ws, &path);
+        findings.push(Finding {
+            lint: "panic-reachability",
+            path: ws.files[f.file].path.clone(),
+            line: seed.line,
+            message: format!("{}; {witness}", seed.desc),
+            snippet: ws.snippet(f.file, seed.line),
+        });
+    }
+    findings
+}
+
+/// Renders the witness path `[root, .., seed_fn]` for the finding message.
+fn witness(ws: &Workspace, path: &[usize]) -> String {
+    let root = ws.fns[path[0]].qualified(ws);
+    if path.len() == 1 {
+        return format!("in the body of public `{root}`");
+    }
+    let hops: Vec<&str> = path[1..].iter().map(|&id| ws.fns[id].name.as_str()).collect();
+    format!("reachable from public `{root}` via {}", hops.join(" → "))
+}
+
+/// Collects may-panic seeds in the body token range `[b0, b1]`; `sig` is
+/// scanned (together with the body) for the integer-type evidence the
+/// division seeds need.
+fn collect_seeds(
+    toks: &[Token],
+    b0: usize,
+    b1: usize,
+    sig: (usize, usize),
+    fn_id: usize,
+    out: &mut Vec<Seed>,
+) {
+    let int_names = int_typed_names(toks, sig, (b0, b1));
+    let mut j = b0;
+    while j <= b1 && j < toks.len() {
+        let t = &toks[j];
+        // Explicit panics.
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(j + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            out.push(Seed {
+                fn_id,
+                line: t.line,
+                desc: format!("`{}!` panics when reached", t.text),
+            });
+        }
+        if t.is_punct(".")
+            && toks.get(j + 1).is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+            && toks.get(j + 2).is_some_and(|n| n.is_punct("("))
+        {
+            out.push(Seed {
+                fn_id,
+                line: t.line,
+                desc: format!("`.{}(..)` may panic", toks[j + 1].text),
+            });
+        }
+        // Indexing: `[` in postfix position (after an identifier, `)`, or
+        // `]`). Attribute (`#[`), macro (`vec![`), type (`: [u8; 4]`),
+        // slice-pattern, and array-literal brackets all have non-postfix
+        // predecessors — including a keyword (`for x in [a, b]`).
+        if t.is_punct("[") && j > b0 {
+            let prev = &toks[j - 1];
+            let keyword = prev.kind == TokKind::Ident && KEYWORDS.contains(&prev.text.as_str());
+            if prev.kind == TokKind::Ident && !keyword || prev.is_punct(")") || prev.is_punct("]") {
+                let what = if prev.kind == TokKind::Ident {
+                    format!("`{}[..]`", prev.text)
+                } else {
+                    "postfix `[..]`".to_string()
+                };
+                out.push(Seed {
+                    fn_id,
+                    line: t.line,
+                    desc: format!("indexing {what} may panic on out-of-bounds"),
+                });
+            }
+        }
+        // Integer division / remainder with a divisor known to be integer.
+        if matches!(t.text.as_str(), "/" | "%" | "/=" | "%=") && t.kind == TokKind::Punct {
+            if let Some(d) = toks.get(j + 1) {
+                let divisor_int_ident = d.kind == TokKind::Ident
+                    && int_names.contains(d.text.as_str())
+                    && !toks.get(j + 2).is_some_and(|n| n.is_punct(".") || n.is_ident("as"));
+                let zero_literal = d.kind == TokKind::Int && int_value_is_zero(&d.text);
+                if divisor_int_ident || zero_literal {
+                    let name = if zero_literal { "0" } else { d.text.as_str() };
+                    out.push(Seed {
+                        fn_id,
+                        line: t.line,
+                        desc: format!(
+                            "integer `{}` with divisor `{name}` may panic on zero",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+        j += 1;
+    }
+}
+
+/// True when an integer literal's value is zero (`0`, `0_0`, `0x0`, ...).
+fn int_value_is_zero(text: &str) -> bool {
+    let digits: String = text
+        .trim_start_matches("0x")
+        .trim_start_matches("0b")
+        .trim_start_matches("0o")
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric())
+        .filter(|c| c.is_ascii_hexdigit())
+        .collect();
+    !digits.is_empty() && digits.chars().all(|c| c == '0')
+}
+
+/// Crude local type inference: names annotated `name: <int-type>` (params,
+/// lets, fields in struct expressions) or initialized `name = <int
+/// literal>` anywhere in the signature or body. A name with *any* float
+/// evidence (`name: f32`, `name = .. as f64`, `name = 1.0`) in the same
+/// function is excluded even if another binding reuses it for an integer —
+/// when the inference is ambiguous the pass stays silent.
+fn int_typed_names(toks: &[Token], sig: (usize, usize), body: (usize, usize)) -> BTreeSet<&str> {
+    let mut ints = BTreeSet::new();
+    let mut floats = BTreeSet::new();
+    let ranges = [sig, body];
+    for (lo, hi) in ranges {
+        let mut j = lo;
+        while j + 2 <= hi && j + 2 < toks.len() {
+            let (a, b, _c) = (&toks[j], &toks[j + 1], &toks[j + 2]);
+            if a.kind == TokKind::Ident && b.is_punct(":") {
+                // name: usize / name: f32 — possibly through `&`/`mut`.
+                let mut k = j + 2;
+                while k < toks.len() && (toks[k].is_punct("&") || toks[k].is_ident("mut")) {
+                    k += 1;
+                }
+                if let Some(ty) = toks.get(k) {
+                    if INT_TYPES.contains(&ty.text.as_str()) {
+                        ints.insert(a.text.as_str());
+                    } else if ty.is_ident("f32") || ty.is_ident("f64") {
+                        floats.insert(a.text.as_str());
+                    }
+                }
+            }
+            if a.kind == TokKind::Ident && b.is_punct("=") {
+                // Classify by the initializer: scan the statement for the
+                // first decisive token.
+                let mut k = j + 2;
+                while k <= hi && k < toks.len() && !toks[k].is_punct(";") {
+                    let t = &toks[k];
+                    if t.kind == TokKind::Float || t.is_ident("f32") || t.is_ident("f64") {
+                        floats.insert(a.text.as_str());
+                        break;
+                    }
+                    if k == j + 2 && t.kind == TokKind::Int {
+                        ints.insert(a.text.as_str());
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+            j += 1;
+        }
+    }
+    &ints - &floats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let ws =
+            Workspace::from_sources(vec![("crates/core/src/lib.rs".to_string(), src.to_string())]);
+        let graph = callgraph::build(&ws);
+        run(&ws, &graph)
+    }
+
+    #[test]
+    fn unwrap_behind_private_helper_is_reported_with_witness() {
+        let out = run_on(
+            "pub fn api(x: Option<u8>) -> u8 { helper(x) }\n\
+                          fn helper(x: Option<u8>) -> u8 { x.unwrap() }",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].lint, "panic-reachability");
+        assert_eq!(out[0].line, 2);
+        assert!(out[0].message.contains("core::api"), "witness names the root: {}", out[0].message);
+        assert!(out[0].message.contains("via helper"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn unreached_private_panic_is_silent() {
+        let out = run_on("pub fn api() {}\nfn dead(x: Option<u8>) -> u8 { x.unwrap() }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn indexing_and_int_division_seed() {
+        let out = run_on(
+            "pub fn idx(v: &[u8], i: usize) -> u8 { v[i] }\n\
+                          pub fn div(a: usize, b: usize) -> usize { a / b }",
+        );
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("indexing"), "{}", out[0].message);
+        assert!(out[1].message.contains("divisor `b`"), "{}", out[1].message);
+    }
+
+    #[test]
+    fn benign_division_and_literals_do_not_seed() {
+        let out = run_on(
+            "pub fn f(a: usize, x: f32, y: f32) -> f32 { let half = a / 2; x / y + half as f32 }",
+        );
+        assert!(out.is_empty(), "nonzero literal and float division are safe: {out:?}");
+    }
+
+    #[test]
+    fn ambiguous_divisor_name_stays_silent() {
+        // `n` is an integer in one binding and a float in another; the
+        // float division must not be reported as an integer one.
+        let out = run_on(
+            "pub fn f(xs: &mut [f32]) -> f32 {\n\
+             \x20   let n = 3;\n\
+             \x20   let m = n * 2;\n\
+             \x20   let n = xs.len().max(1) as f32;\n\
+             \x20   xs.iter().sum::<f32>() / n + m as f32\n}",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn tests_and_non_postfix_brackets_are_masked() {
+        let out = run_on(
+            "#[cfg(test)]\nmod t { fn f(x: Option<u8>) { x.unwrap(); } }\n\
+             pub fn ok(n: usize) -> Vec<u8> { let v: [u8; 2] = [0; 2]; vec![0; n] }\n\
+             pub fn arr(a: &[u8], b: &[u8]) -> usize { let mut n = 0; \
+             for s in [a, b] { n += s.len(); } n }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn public_fn_with_direct_panic_reports_itself() {
+        let out = run_on("pub fn api() { panic!(\"boom\"); }");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("in the body of public"), "{}", out[0].message);
+    }
+}

@@ -1,0 +1,257 @@
+//! Workspace loading and the function symbol table.
+//!
+//! [`Workspace`] holds every lexed + item-parsed source file under
+//! `crates/*/src` and flattens the item trees into one list of function
+//! symbols ([`FnSym`]) with crate / module / self-type provenance —
+//! the name index the approximate call graph ([`crate::callgraph`])
+//! resolves against.
+
+use crate::lexer::{lex, Token};
+use crate::parse::{parse_items, Item, ItemKind};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One parsed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Raw source text.
+    pub src: String,
+    /// Token stream.
+    pub toks: Vec<Token>,
+    /// Parsed item tree.
+    pub items: Vec<Item>,
+    /// Crate directory name under `crates/` (`tensor`, `core`, ...).
+    pub crate_name: String,
+    /// True for binary sources (`src/bin/**` or `src/main.rs`): their
+    /// functions are never public-API roots.
+    pub is_bin: bool,
+}
+
+/// One function in the workspace.
+#[derive(Debug)]
+pub struct FnSym {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Function name.
+    pub name: String,
+    /// Enclosing impl's self type (last path segment), for methods.
+    pub self_type: Option<String>,
+    /// Module path inside the crate (file modules + inline `mod`s).
+    pub module: Vec<String>,
+    /// Bare `pub` on the `fn` itself.
+    pub is_pub: bool,
+    /// Inside `#[cfg(test)]` / `#[test]` scope.
+    pub is_test: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Signature token range (see [`Item::sig`]).
+    pub sig: (usize, usize),
+    /// Body brace token range, if the function has a body.
+    pub body: Option<(usize, usize)>,
+}
+
+/// All parsed sources plus the flattened function table.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Parsed library/binary sources under `crates/*/src`, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// Every function, in file order.
+    pub fns: Vec<FnSym>,
+    /// Function ids grouped by bare name.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl FnSym {
+    /// Human-readable qualified name:
+    /// `crate/module::Type::name` (modules joined with `::`).
+    pub fn qualified(&self, ws: &Workspace) -> String {
+        let mut parts: Vec<&str> = vec![&ws.files[self.file].crate_name];
+        parts.extend(self.module.iter().map(String::as_str));
+        if let Some(t) = &self.self_type {
+            parts.push(t);
+        }
+        parts.push(&self.name);
+        parts.join("::")
+    }
+}
+
+impl Workspace {
+    /// Loads and parses every `.rs` file under `<root>/crates/*/src`.
+    pub fn load(root: &Path) -> Result<Self, String> {
+        let crates_dir = root.join("crates");
+        let mut files = Vec::new();
+        collect_rs_files(&crates_dir, &mut files)
+            .map_err(|e| format!("walking {}: {e}", crates_dir.display()))?;
+        files.sort();
+        let mut sources = Vec::new();
+        for file in files {
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
+            if !rel.contains("/src/") {
+                continue; // integration tests and fixtures are not analyzed
+            }
+            let src = std::fs::read_to_string(&file)
+                .map_err(|e| format!("reading {}: {e}", file.display()))?;
+            sources.push((rel, src));
+        }
+        Ok(Self::from_sources(sources))
+    }
+
+    /// Builds a workspace from `(workspace-relative path, source)` pairs —
+    /// the in-memory entry point the fixture tests use.
+    pub fn from_sources(sources: Vec<(String, String)>) -> Self {
+        let mut files = Vec::new();
+        for (path, src) in sources {
+            let toks = lex(&src);
+            let items = parse_items(&toks);
+            let crate_name = path
+                .strip_prefix("crates/")
+                .and_then(|p| p.split('/').next())
+                .unwrap_or("")
+                .to_string();
+            let is_bin = path.contains("/src/bin/") || path.ends_with("/src/main.rs");
+            files.push(SourceFile { path, src, toks, items, crate_name, is_bin });
+        }
+        let mut ws = Workspace { files, fns: Vec::new(), by_name: BTreeMap::new() };
+        for fi in 0..ws.files.len() {
+            let module = file_module_path(&ws.files[fi].path);
+            let items = std::mem::take(&mut ws.files[fi].items);
+            for item in &items {
+                collect_fns(&mut ws, fi, item, &module, None);
+            }
+            ws.files[fi].items = items;
+        }
+        for (id, f) in ws.fns.iter().enumerate() {
+            ws.by_name.entry(f.name.clone()).or_default().push(id);
+        }
+        ws
+    }
+
+    /// The source line (trimmed) a finding at `line` in `file` should carry
+    /// as its snippet.
+    pub fn snippet(&self, file: usize, line: usize) -> String {
+        self.files[file].src.lines().nth(line.saturating_sub(1)).unwrap_or("").trim().to_string()
+    }
+}
+
+/// Module path implied by the file's location under `src/`: `lib.rs`,
+/// `main.rs`, and `mod.rs` name the enclosing directory chain; any other
+/// file appends its stem.
+fn file_module_path(path: &str) -> Vec<String> {
+    let Some(idx) = path.find("/src/") else { return Vec::new() };
+    let tail = &path[idx + 5..];
+    let mut parts: Vec<String> = tail.split('/').map(str::to_string).collect();
+    let last = parts.pop().unwrap_or_default();
+    let stem = last.strip_suffix(".rs").unwrap_or(&last);
+    if !matches!(stem, "lib" | "main" | "mod") {
+        parts.push(stem.to_string());
+    }
+    parts
+}
+
+fn collect_fns(ws: &mut Workspace, file: usize, item: &Item, module: &[String], ty: Option<&str>) {
+    match item.kind {
+        ItemKind::Fn => ws.fns.push(FnSym {
+            file,
+            name: item.name.clone(),
+            self_type: ty.map(str::to_string),
+            module: module.to_vec(),
+            is_pub: item.is_pub,
+            is_test: item.is_test,
+            line: item.line,
+            sig: item.sig,
+            body: item.body,
+        }),
+        ItemKind::Mod => {
+            let mut inner = module.to_vec();
+            inner.push(item.name.clone());
+            for child in &item.children {
+                collect_fns(ws, file, child, &inner, None);
+            }
+        }
+        ItemKind::Impl => {
+            for child in &item.children {
+                collect_fns(ws, file, child, module, Some(&item.name));
+            }
+        }
+        ItemKind::Trait => {
+            for child in &item.children {
+                collect_fns(ws, file, child, module, Some(&item.name));
+            }
+        }
+    }
+}
+
+/// Recursively collects `.rs` files, skipping build output and hidden dirs.
+pub fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::from_sources(files.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect())
+    }
+
+    #[test]
+    fn symbols_carry_crate_module_and_type() {
+        let ws = ws(&[
+            ("crates/tensor/src/lib.rs", "pub fn top() {}"),
+            (
+                "crates/tensor/src/matrix.rs",
+                "pub struct Matrix;\nimpl Matrix { pub fn get(&self) {} }\nfn helper() {}",
+            ),
+        ]);
+        assert_eq!(ws.fns.len(), 3);
+        let get = &ws.fns[ws.by_name["get"][0]];
+        assert_eq!(get.self_type.as_deref(), Some("Matrix"));
+        assert_eq!(get.qualified(&ws), "tensor::matrix::Matrix::get");
+        let top = &ws.fns[ws.by_name["top"][0]];
+        assert_eq!(top.qualified(&ws), "tensor::top");
+        assert!(top.is_pub);
+        let helper = &ws.fns[ws.by_name["helper"][0]];
+        assert!(!helper.is_pub);
+    }
+
+    #[test]
+    fn inline_mods_extend_the_module_path() {
+        let ws = ws(&[(
+            "crates/core/src/train.rs",
+            "mod inner { pub fn deep() {} }\n#[cfg(test)]\nmod tests { fn t() {} }",
+        )]);
+        let deep = &ws.fns[ws.by_name["deep"][0]];
+        assert_eq!(deep.module, vec!["train", "inner"]);
+        assert!(!deep.is_test);
+        let t = &ws.fns[ws.by_name["t"][0]];
+        assert!(t.is_test);
+    }
+
+    #[test]
+    fn bin_sources_are_marked() {
+        let ws = ws(&[
+            ("crates/bench/src/bin/perfjson.rs", "pub fn tool() {}"),
+            ("crates/check/src/main.rs", "fn main() {}"),
+            ("crates/core/src/lib.rs", "pub fn lib() {}"),
+        ]);
+        assert!(ws.files[ws.fns[ws.by_name["tool"][0]].file].is_bin);
+        assert!(ws.files[ws.fns[ws.by_name["main"][0]].file].is_bin);
+        assert!(!ws.files[ws.fns[ws.by_name["lib"][0]].file].is_bin);
+    }
+}

@@ -1,0 +1,174 @@
+//! Adversarial lexer inputs plus a workspace-wide span round-trip.
+//!
+//! The lints live or die on the lexer classifying weird-but-legal Rust the
+//! same way rustc would: a raw string whose *contents* look like a comment
+//! must stay one `Str` token, a nested block comment containing quotes must
+//! vanish entirely, and `0..2` must come out as `Int ".." Int` rather than
+//! a float. The round-trip test then pins the span invariants for every
+//! real file in the workspace: spans are in order, non-overlapping, carry
+//! the exact lexeme bytes, and the gaps between them are only whitespace
+//! and comments — so concatenating gaps and spans reconstructs the source
+//! byte-identically.
+
+use adamel_check::lexer::{lex, TokKind};
+use adamel_check::symbols::collect_rs_files;
+use std::path::{Path, PathBuf};
+
+fn kinds(src: &str) -> Vec<TokKind> {
+    lex(src).into_iter().map(|t| t.kind).collect()
+}
+
+#[test]
+fn raw_string_with_hash_delimiters_containing_line_comment() {
+    // The "//" inside the raw string must not start a comment, and the
+    // `#"`/`"#` fences must not terminate early on the inner quote.
+    let src = r##"let s = r#"not a // comment, even with a " quote"#; x.unwrap();"##;
+    let toks = lex(src);
+    let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+    assert_eq!(strs.len(), 1, "{toks:?}");
+    // The unwrap after the raw string is still visible to the lints.
+    assert!(toks.iter().any(|t| t.is_ident("unwrap")), "{toks:?}");
+    // And the span covers the whole literal including both fences.
+    let s = strs[0];
+    assert!(src[s.start..s.end].starts_with("r#\""), "{:?}", &src[s.start..s.end]);
+    assert!(src[s.start..s.end].ends_with("\"#"), "{:?}", &src[s.start..s.end]);
+}
+
+#[test]
+fn raw_string_with_more_hashes_than_needed() {
+    let src = r####"let s = r###"inner "# and "## stay inside"###;"####;
+    let toks = lex(src);
+    assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1, "{toks:?}");
+    assert!(toks.last().unwrap().is_punct(";"), "{toks:?}");
+}
+
+#[test]
+fn nested_block_comment_containing_quotes_is_fully_discarded() {
+    // Rust block comments nest; the inner `/*` must push depth so the
+    // first `*/` does not end the comment, and the quote inside must not
+    // open a string that swallows the rest of the file.
+    let src = "before(); /* outer \" /* inner \" */ still comment */ after();";
+    let toks = lex(src);
+    assert!(toks.iter().any(|t| t.is_ident("before")), "{toks:?}");
+    assert!(toks.iter().any(|t| t.is_ident("after")), "{toks:?}");
+    assert!(!toks.iter().any(|t| t.is_ident("inner") || t.is_ident("comment")), "{toks:?}");
+    assert!(!toks.iter().any(|t| t.kind == TokKind::Str), "{toks:?}");
+}
+
+#[test]
+fn int_range_is_not_a_float() {
+    // `0..2` must lex as Int ".." Int — treating `0.` as a float would
+    // desynchronize every range expression in the workspace.
+    let toks = lex("for i in 0..2 {}");
+    let got: Vec<(TokKind, &str)> = toks.iter().map(|t| (t.kind, t.text.as_str())).collect();
+    assert!(
+        got.windows(3)
+            .any(|w| w == [(TokKind::Int, "0"), (TokKind::Punct, ".."), (TokKind::Int, "2")]),
+        "{got:?}"
+    );
+    // But a genuine trailing-dot float stays a float.
+    assert_eq!(
+        kinds("let x = 2.0;"),
+        vec![TokKind::Ident, TokKind::Ident, TokKind::Punct, TokKind::Float, TokKind::Punct,]
+    );
+}
+
+#[test]
+fn inclusive_range_and_method_on_int() {
+    let toks = lex("(0..=9).sum(); 1.max(2);");
+    assert!(toks.iter().any(|t| t.is_punct("..=")), "{toks:?}");
+    // `1.max(` — the dot belongs to the method call, not the literal.
+    assert!(toks.windows(2).any(|w| w[0].kind == TokKind::Int && w[1].is_punct(".")), "{toks:?}");
+}
+
+/// Every token stream must reconstruct its source byte-for-byte: spans in
+/// strictly increasing order, `text == src[start..end]` for textful kinds,
+/// and the gaps holding nothing but whitespace and comments.
+fn assert_round_trip(path: &Path, src: &str) {
+    let toks = lex(src);
+    let mut rebuilt = String::with_capacity(src.len());
+    let mut prev_end = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        assert!(
+            t.start >= prev_end && t.end >= t.start && t.end <= src.len(),
+            "{}: token {i} ({:?} {:?}) span {}..{} out of order (prev end {prev_end})",
+            path.display(),
+            t.kind,
+            t.text,
+            t.start,
+            t.end,
+        );
+        let gap = &src[prev_end..t.start];
+        assert!(
+            only_whitespace_and_comments(gap),
+            "{}: gap before token {i} contains lexeme bytes: {gap:?}",
+            path.display(),
+        );
+        let slice = &src[t.start..t.end];
+        // Str/Char drop their contents by design; everything else must
+        // carry the exact source bytes.
+        if !matches!(t.kind, TokKind::Str | TokKind::Char) {
+            assert_eq!(t.text, slice, "{}: token {i} text diverges from its span", path.display());
+        }
+        rebuilt.push_str(gap);
+        rebuilt.push_str(slice);
+        prev_end = t.end;
+    }
+    let tail = &src[prev_end..];
+    assert!(
+        only_whitespace_and_comments(tail),
+        "{}: trailing bytes after last token: {tail:?}",
+        path.display(),
+    );
+    rebuilt.push_str(tail);
+    assert_eq!(rebuilt, src, "{}: reconstruction is not byte-identical", path.display());
+}
+
+/// True when `s` is only whitespace, line comments, and (nested) block
+/// comments — the classes of bytes the lexer is allowed to drop.
+fn only_whitespace_and_comments(s: &str) -> bool {
+    let b: Vec<char> = s.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i].is_whitespace() {
+            i += 1;
+        } else if b[i] == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+        } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 1;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else {
+            return false;
+        }
+    }
+    true
+}
+
+#[test]
+fn every_workspace_file_round_trips() {
+    // Integration tests run with the crate root as CWD; the workspace root
+    // is two levels up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let crates = root.join("crates");
+    assert!(crates.is_dir(), "workspace crates/ not found at {}", crates.display());
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs_files(&crates, &mut files).expect("walk crates/");
+    assert!(files.len() > 50, "expected a real workspace, found {} files", files.len());
+    for path in files {
+        let src = std::fs::read_to_string(&path).expect("read workspace source");
+        assert_round_trip(&path, &src);
+    }
+}

@@ -1,0 +1,148 @@
+//! Must-fail fixtures for the call-graph passes.
+//!
+//! CI runs these with the normal test suite: each new pass gets a fixture
+//! that MUST produce a finding (so a regression that silently blinds a
+//! pass fails the build, not just shrinks a report) and a matching clean
+//! fixture that MUST stay silent (so a regression in the other direction —
+//! noise — is equally loud). Fixtures are in-memory sources fed through
+//! [`Workspace::from_sources`], the same entry the unit tests use, under
+//! library-crate paths so the public-surface gating applies.
+
+use adamel_check::callgraph;
+use adamel_check::lints::Finding;
+use adamel_check::passes;
+use adamel_check::symbols::Workspace;
+
+fn run_passes(sources: &[(&str, &str)]) -> Vec<Finding> {
+    let ws = Workspace::from_sources(
+        sources.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect(),
+    );
+    let graph = callgraph::build(&ws);
+    passes::run_all(&ws, &graph)
+}
+
+fn lints<'a>(findings: &'a [Finding], lint: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.lint == lint).collect()
+}
+
+// --- panic-reachability ----------------------------------------------------
+
+#[test]
+fn panic_reachability_must_fail_fixture() {
+    let findings = run_passes(&[(
+        "crates/core/src/lib.rs",
+        "pub fn api(xs: &[u32], i: usize) -> u32 { helper(xs, i) }\n\
+         fn helper(xs: &[u32], i: usize) -> u32 { xs[i] }\n",
+    )]);
+    let hits = lints(&findings, "panic-reachability");
+    assert_eq!(hits.len(), 1, "fixture must fire exactly once: {findings:?}");
+    let msg = &hits[0].message;
+    assert!(msg.contains("api"), "witness path names the pub root: {msg}");
+    assert!(msg.contains("helper"), "witness path names the panicking fn: {msg}");
+}
+
+#[test]
+fn panic_reachability_clean_fixture_stays_silent() {
+    let findings = run_passes(&[(
+        "crates/core/src/lib.rs",
+        "pub fn api(xs: &[u32], i: usize) -> Option<u32> { helper(xs, i) }\n\
+         fn helper(xs: &[u32], i: usize) -> Option<u32> { xs.get(i).copied() }\n",
+    )]);
+    assert!(lints(&findings, "panic-reachability").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn panic_reachability_crosses_crate_boundaries() {
+    // The call graph is workspace-wide: a panic in one crate reached from a
+    // pub fn in another must still be witnessed.
+    let findings = run_passes(&[
+        ("crates/tensor/src/lib.rs", "pub fn kernel(xs: &[f32]) -> f32 { xs[0] }\n"),
+        ("crates/core/src/lib.rs", "pub fn entry(xs: &[f32]) -> f32 { kernel(xs) }\n"),
+    ]);
+    let hits = lints(&findings, "panic-reachability");
+    assert!(!hits.is_empty(), "{findings:?}");
+}
+
+// --- lock-across-dispatch --------------------------------------------------
+
+#[test]
+fn lock_across_dispatch_must_fail_fixture() {
+    let findings = run_passes(&[(
+        "crates/schema/src/lib.rs",
+        "pub fn bad(m: &std::sync::Mutex<u8>) {\n\
+         \x20   let guard = m.lock().unwrap_or_else(|p| p.into_inner());\n\
+         \x20   parallel_for_rows(&mut [], 1, 1, |_, _| {});\n\
+         \x20   let _ = *guard;\n\
+         }\n",
+    )]);
+    let hits = lints(&findings, "lock-across-dispatch");
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert!(hits[0].message.contains("`guard`"), "{}", hits[0].message);
+}
+
+#[test]
+fn lock_across_dispatch_clean_fixture_stays_silent() {
+    let findings = run_passes(&[(
+        "crates/schema/src/lib.rs",
+        "pub fn good(m: &std::sync::Mutex<u8>) {\n\
+         \x20   { let _guard = m.lock().unwrap_or_else(|p| p.into_inner()); }\n\
+         \x20   parallel_for_rows(&mut [], 1, 1, |_, _| {});\n\
+         }\n",
+    )]);
+    assert!(lints(&findings, "lock-across-dispatch").is_empty(), "{findings:?}");
+}
+
+// --- nondeterministic-reduction --------------------------------------------
+
+#[test]
+fn nondet_reduction_must_fail_fixture() {
+    let findings = run_passes(&[(
+        "crates/metrics/src/lib.rs",
+        "pub fn bad(rows: &mut [f32]) {\n\
+         \x20   let mut total: f32 = 0.0;\n\
+         \x20   parallel_for_rows(rows, 1, 1, |_, row| { total += row[0]; });\n\
+         \x20   let _ = total;\n\
+         }\n",
+    )]);
+    let hits = lints(&findings, "nondeterministic-reduction");
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert!(hits[0].message.contains("total"), "{}", hits[0].message);
+}
+
+#[test]
+fn nondet_reduction_clean_fixture_stays_silent() {
+    // Accumulating into a closure-local is the sanctioned pattern: each
+    // worker owns its accumulator and the merge happens deterministically
+    // after the dispatch.
+    let findings = run_passes(&[(
+        "crates/metrics/src/lib.rs",
+        "pub fn good(rows: &mut [f32]) {\n\
+         \x20   parallel_for_rows(rows, 1, 1, |_, row| {\n\
+         \x20       let mut local: f32 = 0.0;\n\
+         \x20       local += row[0];\n\
+         \x20       row[0] = local;\n\
+         \x20   });\n\
+         }\n",
+    )]);
+    assert!(lints(&findings, "nondeterministic-reduction").is_empty(), "{findings:?}");
+}
+
+// --- report plumbing -------------------------------------------------------
+
+#[test]
+fn findings_come_out_sorted_and_deduped() {
+    let findings = run_passes(&[
+        (
+            "crates/core/src/lib.rs",
+            "pub fn z(xs: &[u32]) -> u32 { xs[0] }\npub fn a(xs: &[u32]) -> u32 { xs[1] }\n",
+        ),
+        ("crates/data/src/lib.rs", "pub fn b(xs: &[u32]) -> u32 { xs[2] }\n"),
+    ]);
+    let keys: Vec<(&str, usize, &str)> =
+        findings.iter().map(|f| (f.path.as_str(), f.line, f.lint)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(keys, sorted, "run_all output must be sorted and deduped");
+    assert_eq!(findings.len(), 3, "{findings:?}");
+}

@@ -267,6 +267,7 @@ impl DriftMonitor {
     /// Record-level signals (C1/C2/C3) use each source's distinct records
     /// (deduplicated by entity id); model-level signals use the pairs
     /// touching the source.
+    #[must_use = "assess has no side effects; the drift report is its only output"]
     pub fn assess(&self, model: &AdamelModel, target: &Domain) -> Vec<SourceDrift> {
         let mut out = Vec::new();
         for source in target.sources() {

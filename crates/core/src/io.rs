@@ -78,11 +78,12 @@ pub fn load_model(r: &mut impl BufRead) -> io::Result<AdamelModel> {
     }
     let config_line = next()?;
     let parts: Vec<&str> = config_line.split_whitespace().collect();
-    if parts.len() != 13 || parts[0] != "config" {
+    if parts.len() != 13 || parts.first() != Some(&"config") {
         return Err(bad("malformed config line"));
     }
-    let p = |i: usize| -> io::Result<usize> { parts[i].parse().map_err(|_| bad("bad integer")) };
-    let pf = |i: usize| -> io::Result<f32> { parts[i].parse().map_err(|_| bad("bad float")) };
+    let field = |i: usize| parts.get(i).copied().ok_or_else(|| bad("malformed config line"));
+    let p = |i: usize| -> io::Result<usize> { field(i)?.parse().map_err(|_| bad("bad integer")) };
+    let pf = |i: usize| -> io::Result<f32> { field(i)?.parse().map_err(|_| bad("bad float")) };
     let cfg = AdamelConfig {
         embed_dim: p(1)?,
         feature_dim: p(2)?,
@@ -94,8 +95,8 @@ pub fn load_model(r: &mut impl BufRead) -> io::Result<AdamelModel> {
         batch_size: p(8)?,
         lambda: pf(9)?,
         phi: pf(10)?,
-        feature_mode: mode_from_tag(parts[11])?,
-        seed: parts[12].parse().map_err(|_| bad("bad seed"))?,
+        feature_mode: mode_from_tag(field(11)?)?,
+        seed: field(12)?.parse().map_err(|_| bad("bad seed"))?,
         grad_clip: Some(5.0),
         uniform_attention: false,
     };

@@ -117,6 +117,7 @@ impl AdamelModel {
     /// records memoized, interned vocabulary size, and lookup hit/miss
     /// counts across everything this model has encoded (training, support,
     /// target, and inference batches all share the cache).
+    #[must_use = "cache stats are a snapshot; fetching them without reading is a no-op"]
     pub fn encode_cache_stats(&self) -> adamel_schema::EncodeCacheStats {
         self.extractor.cache_stats()
     }

@@ -209,6 +209,7 @@ impl Histogram {
     /// assert_eq!(h.quantile(0.5), Some(2)); // bucket [1,2) upper bound
     /// assert_eq!(h.quantile(1.0), Some(1_000_000)); // clamped to max
     /// ```
+    #[must_use = "quantile is a pure query over recorded counts"]
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
@@ -237,18 +238,21 @@ impl Histogram {
     /// }
     /// assert_eq!(h.p50(), Some(8)); // hi 16 clamps to observed max 8
     /// ```
+    #[must_use = "p50 is a pure query over recorded counts"]
     pub fn p50(&self) -> Option<u64> {
         self.quantile(0.5)
     }
 
     /// 90th percentile ([`quantile`](Self::quantile) at 0.9), or `None`
     /// if empty.
+    #[must_use = "p90 is a pure query over recorded counts"]
     pub fn p90(&self) -> Option<u64> {
         self.quantile(0.9)
     }
 
     /// 99th percentile ([`quantile`](Self::quantile) at 0.99), or `None`
     /// if empty.
+    #[must_use = "p99 is a pure query over recorded counts"]
     pub fn p99(&self) -> Option<u64> {
         self.quantile(0.99)
     }

@@ -36,7 +36,7 @@
 //! a byte UTF-8 never produces). Records are value-bags, so identical
 //! content means identical encodings; clones and re-generated records share
 //! slots. The cache never invalidates entries (records are immutable once
-//! built); [`EncodeCache::clear`] drops everything, which
+//! built); `EncodeCache::clear` drops everything, which
 //! `FeatureExtractor::clear_cache` exposes to bound memory between corpora.
 //!
 //! ## Memory bounds

@@ -132,6 +132,7 @@ impl FeatureExtractor {
     }
 
     /// Current encoding-cache statistics.
+    #[must_use = "cache stats are a snapshot; fetching them without reading is a no-op"]
     pub fn cache_stats(&self) -> EncodeCacheStats {
         self.lock_cache().stats()
     }
