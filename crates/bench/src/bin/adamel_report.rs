@@ -365,10 +365,11 @@ fn cmd_summary(args: &[String]) -> ExitCode {
 
 // ----------------------------------------------------- validate-bench ----
 
-/// Gates a `perfjson` BENCH JSON on the encoding-cache contract, so a cache
-/// regression (cold-path timings on the warm rows, a broken hit path, an
-/// empty cache) fails CI even when the absolute timings still "look fast"
-/// on a beefy runner.
+/// Gates a `perfjson` BENCH JSON on the encoding-cache contract and the
+/// compiled-plan contract: a cache regression (cold-path timings on the warm
+/// rows, a broken hit path, an empty cache), a missing/slower-than-tape
+/// `predict_plan` row, or a GEMM row with no achieved GFLOP/s fails CI even
+/// when the absolute timings still "look fast" on a beefy runner.
 fn cmd_validate_bench(args: &[String]) -> ExitCode {
     let [path] = args else { return usage() };
     let doc = match std::fs::read_to_string(path)
@@ -383,8 +384,10 @@ fn cmd_validate_bench(args: &[String]) -> ExitCode {
     };
     let mut failures: Vec<String> = Vec::new();
 
-    // Best (minimum) timing per kernel across thread counts.
+    // Best (minimum) timing and best (maximum) GFLOP/s per kernel across
+    // thread counts.
     let mut best: BTreeMap<String, f64> = BTreeMap::new();
+    let mut best_gflops: BTreeMap<String, f64> = BTreeMap::new();
     match doc.get("rows").and_then(Json::as_array) {
         Some(rows) => {
             for r in rows {
@@ -400,6 +403,10 @@ fn cmd_validate_bench(args: &[String]) -> ExitCode {
                 }
                 let e = best.entry(kernel.to_string()).or_insert(f64::INFINITY);
                 *e = e.min(ms);
+                if let Some(g) = r.get("gflops").and_then(Json::as_f64) {
+                    let e = best_gflops.entry(kernel.to_string()).or_insert(0.0);
+                    *e = e.max(g);
+                }
             }
         }
         None => failures.push("missing rows array".into()),
@@ -407,6 +414,30 @@ fn cmd_validate_bench(args: &[String]) -> ExitCode {
     for kernel in ["encode_pairs_cold", "encode_pairs", "encode_pairs_cached"] {
         if !best.contains_key(kernel) {
             failures.push(format!("missing {kernel} row"));
+        }
+    }
+    // Compiled-plan contract: both inference paths must be measured, and the
+    // plan must not lose to the tape it replaced (10% headroom for jitter).
+    for kernel in ["predict_plan", "predict_tape"] {
+        if !best.contains_key(kernel) {
+            failures.push(format!("missing {kernel} row"));
+        }
+    }
+    if let (Some(&plan), Some(&tape)) = (best.get("predict_plan"), best.get("predict_tape")) {
+        if plan > tape * 1.10 {
+            failures.push(format!(
+                "predict_plan ({plan:.3} ms) slower than predict_tape ({tape:.3} ms) + 10%"
+            ));
+        }
+    }
+    // Per-kernel GFLOP/s must be present and nonzero for the GEMM rows — a
+    // zero means the flop accounting broke or a kernel took no measurable
+    // work, either of which invalidates the perf claims.
+    for kernel in ["matmul", "matmul_tn", "matmul_nt"] {
+        match best_gflops.get(kernel) {
+            Some(&g) if g > 0.0 => {}
+            Some(_) => failures.push(format!("{kernel}: gflops is zero")),
+            None => failures.push(format!("{kernel}: missing row or gflops field")),
         }
     }
     if let (Some(&cold), Some(&cached)) =
@@ -440,10 +471,14 @@ fn cmd_validate_bench(args: &[String]) -> ExitCode {
     if failures.is_empty() {
         let show = |k: &str| best.get(k).copied().unwrap_or(f64::NAN);
         println!(
-            "{path}: bench cache contract ok (cold {:.3} ms, warm {:.3} ms, cached {:.3} ms)",
+            "{path}: bench contract ok (cold {:.3} ms, warm {:.3} ms, cached {:.3} ms, \
+             plan {:.3} ms vs tape {:.3} ms, matmul {:.2} GFLOP/s)",
             show("encode_pairs_cold"),
             show("encode_pairs"),
             show("encode_pairs_cached"),
+            show("predict_plan"),
+            show("predict_tape"),
+            best_gflops.get("matmul").copied().unwrap_or(f64::NAN),
         );
         ExitCode::SUCCESS
     } else {

@@ -1,6 +1,9 @@
 //! Emits `BENCH_parallel.json` (or `--out <path>`): serial-vs-parallel
-//! timings for the matmul kernels, batch pair encoding, and end-to-end
-//! prediction at 1/2/4/8 worker threads. Pair encoding is measured three
+//! timings for the matmul kernels (with achieved GFLOP/s per row), batch
+//! pair encoding, and end-to-end prediction at 1/2/4/8 worker threads —
+//! the latter measured both through the compiled inference plan
+//! (`predict_plan`, also the headline `predict` row) and the historical
+//! graph-per-chunk tape path (`predict_tape`). Pair encoding is measured three
 //! ways — `encode_pairs_cold` (record-level cache dropped before every
 //! run), `encode_pairs` (the headline warm row), and `encode_pairs_cached`
 //! (explicit warm phase whose hit/miss deltas feed the `"cache"` section:
@@ -44,6 +47,9 @@ struct Row {
     n: usize,
     threads: usize,
     ms: f64,
+    /// Arithmetic work per run; 0 for rows that are not compute kernels
+    /// (encoding, overhead pairs). Nonzero rows get a `gflops` column.
+    flops: u64,
 }
 
 /// Best-of-`reps` wall time in milliseconds, with one untimed warm-up.
@@ -190,23 +196,25 @@ fn main() {
     let b = random_matrix(300, 256, &mut rng);
     let b_t = random_matrix(256, 300, &mut rng);
     let a_tall = random_matrix(matmul_m, 256, &mut rng);
+    // All three variants compute an (m x 300)·(300 x 256)-shaped product.
+    let gemm_flops = 2 * matmul_m as u64 * 300 * 256;
     for &t in threads {
         let ms = time_ms(3, || {
             parallel::with_threads(t, || std::hint::black_box(a.matmul(&b)));
         });
-        rows.push(Row { kernel: "matmul", n: matmul_m, threads: t, ms });
+        rows.push(Row { kernel: "matmul", n: matmul_m, threads: t, ms, flops: gemm_flops });
     }
     for &t in threads {
         let ms = time_ms(3, || {
             parallel::with_threads(t, || std::hint::black_box(a.matmul_tn(&a_tall)));
         });
-        rows.push(Row { kernel: "matmul_tn", n: matmul_m, threads: t, ms });
+        rows.push(Row { kernel: "matmul_tn", n: matmul_m, threads: t, ms, flops: gemm_flops });
     }
     for &t in threads {
         let ms = time_ms(3, || {
             parallel::with_threads(t, || std::hint::black_box(a.matmul_nt(&b_t)));
         });
-        rows.push(Row { kernel: "matmul_nt", n: matmul_m, threads: t, ms });
+        rows.push(Row { kernel: "matmul_nt", n: matmul_m, threads: t, ms, flops: gemm_flops });
     }
 
     // --- pair encoding and end-to-end prediction at paper dims ---
@@ -220,7 +228,7 @@ fn main() {
             extractor.clear_cache();
             parallel::with_threads(t, || std::hint::black_box(extractor.encode_pairs(&pairs)));
         });
-        rows.push(Row { kernel: "encode_pairs_cold", n: num_pairs, threads: t, ms });
+        rows.push(Row { kernel: "encode_pairs_cold", n: num_pairs, threads: t, ms, flops: 0 });
     }
     // Warm the cache once, then measure the pure cached path. The headline
     // `encode_pairs` row also measures warm (time_ms warms up before
@@ -231,7 +239,7 @@ fn main() {
         let ms = time_ms(1, || {
             parallel::with_threads(t, || std::hint::black_box(extractor.encode_pairs(&pairs)));
         });
-        rows.push(Row { kernel: "encode_pairs", n: num_pairs, threads: t, ms });
+        rows.push(Row { kernel: "encode_pairs", n: num_pairs, threads: t, ms, flops: 0 });
     }
     // Stats deltas around the cached phase give the report's hit-rate: with
     // a working cache every record reference here is a hit (rate 1.0).
@@ -240,7 +248,7 @@ fn main() {
         let ms = time_ms(1, || {
             parallel::with_threads(t, || std::hint::black_box(extractor.encode_pairs(&pairs)));
         });
-        rows.push(Row { kernel: "encode_pairs_cached", n: num_pairs, threads: t, ms });
+        rows.push(Row { kernel: "encode_pairs_cached", n: num_pairs, threads: t, ms, flops: 0 });
     }
     let cache_after = extractor.cache_stats();
     let warm_hits = cache_after.hits - cache_before.hits;
@@ -251,11 +259,43 @@ fn main() {
         warm_hits as f64 / (warm_hits + warm_misses) as f64
     };
     let encoded = extractor.encode_pairs(&pairs);
+    let predict_flops = num_pairs as u64 * model.per_row_flops() as u64;
     for &t in threads {
         let ms = time_ms(1, || {
             parallel::with_threads(t, || std::hint::black_box(model.predict_encoded(&encoded)));
         });
-        rows.push(Row { kernel: "predict", n: num_pairs, threads: t, ms });
+        rows.push(Row { kernel: "predict", n: num_pairs, threads: t, ms, flops: predict_flops });
+    }
+
+    // --- compiled-plan vs tape inference pair: `predict` above routes
+    // through the plan, so `predict_plan` re-measures the same path under
+    // its explicit name and `predict_tape` measures the historical
+    // graph-per-chunk path. The bench gate requires plan <= tape * 1.10. ---
+    for &t in threads {
+        let ms = time_ms(1, || {
+            parallel::with_threads(t, || std::hint::black_box(model.predict_encoded(&encoded)));
+        });
+        rows.push(Row {
+            kernel: "predict_plan",
+            n: num_pairs,
+            threads: t,
+            ms,
+            flops: predict_flops,
+        });
+    }
+    for &t in threads {
+        let ms = time_ms(1, || {
+            parallel::with_threads(t, || {
+                std::hint::black_box(model.predict_encoded_tape(&encoded))
+            });
+        });
+        rows.push(Row {
+            kernel: "predict_tape",
+            n: num_pairs,
+            threads: t,
+            ms,
+            flops: predict_flops,
+        });
     }
 
     // --- sanitizer overhead pair: the same single-thread prediction with
@@ -271,12 +311,19 @@ fn main() {
         n: num_pairs,
         threads: 1,
         ms: sanitize_off_ms,
+        flops: 0,
     });
     sanitize::set_forced(Some(true));
     let sanitize_on_ms = time_ms(3, || {
         parallel::with_threads(1, || std::hint::black_box(model.predict_encoded(&encoded)));
     });
-    rows.push(Row { kernel: "predict_sanitize_on", n: num_pairs, threads: 1, ms: sanitize_on_ms });
+    rows.push(Row {
+        kernel: "predict_sanitize_on",
+        n: num_pairs,
+        threads: 1,
+        ms: sanitize_on_ms,
+        flops: 0,
+    });
     sanitize::set_forced(None);
 
     // --- trace overhead pair: the same prediction with observability off vs
@@ -285,12 +332,24 @@ fn main() {
     let trace_off_ms = time_ms(3, || {
         parallel::with_threads(1, || std::hint::black_box(model.predict_encoded(&encoded)));
     });
-    rows.push(Row { kernel: "predict_trace_off", n: num_pairs, threads: 1, ms: trace_off_ms });
+    rows.push(Row {
+        kernel: "predict_trace_off",
+        n: num_pairs,
+        threads: 1,
+        ms: trace_off_ms,
+        flops: 0,
+    });
     adamel_obs::set_forced(Some(adamel_obs::TraceLevel::Full));
     let trace_full_ms = time_ms(3, || {
         parallel::with_threads(1, || std::hint::black_box(model.predict_encoded(&encoded)));
     });
-    rows.push(Row { kernel: "predict_trace_full", n: num_pairs, threads: 1, ms: trace_full_ms });
+    rows.push(Row {
+        kernel: "predict_trace_full",
+        n: num_pairs,
+        threads: 1,
+        ms: trace_full_ms,
+        flops: 0,
+    });
     adamel_obs::set_forced(Some(adamel_obs::TraceLevel::Off));
 
     // --- optional instrumented exercise pass (--obs) ---
@@ -342,13 +401,15 @@ fn main() {
             .map(|q| q.ms)
             .unwrap_or(r.ms);
         let speedup = if r.ms > 0.0 { base / r.ms } else { 1.0 };
+        let gflops = if r.flops > 0 && r.ms > 0.0 { r.flops as f64 / (r.ms * 1e6) } else { 0.0 };
         out.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"n\": {}, \"threads\": {}, \"ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"threads\": {}, \"ms\": {:.3}, \"speedup\": {:.3}, \"gflops\": {:.3}}}{}\n",
             r.kernel,
             r.n,
             r.threads,
             r.ms,
             speedup,
+            gflops,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

@@ -42,12 +42,25 @@ fn smoke_output_parses_and_has_trace_pair() {
     }
 
     // The encoding-cache triple: cold (cleared per run), headline warm, and
-    // the explicit cached phase.
-    for kernel in ["encode_pairs_cold", "encode_pairs", "encode_pairs_cached"] {
+    // the explicit cached phase. Plus the compiled-plan/tape inference pair.
+    for kernel in
+        ["encode_pairs_cold", "encode_pairs", "encode_pairs_cached", "predict_plan", "predict_tape"]
+    {
         assert!(
             rows.iter().any(|r| r.get("kernel").and_then(Json::as_str) == Some(kernel)),
             "missing {kernel} row"
         );
+    }
+
+    // GEMM rows carry a nonzero achieved-GFLOP/s column.
+    for kernel in ["matmul", "matmul_tn", "matmul_nt"] {
+        let g = rows
+            .iter()
+            .find(|r| r.get("kernel").and_then(Json::as_str) == Some(kernel))
+            .and_then(|r| r.get("gflops"))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("missing gflops on {kernel}"));
+        assert!(g > 0.0, "{kernel} gflops = {g}");
     }
 
     // The cache section: warm-phase deltas must show a pure-hit phase over
@@ -84,17 +97,64 @@ fn validate_bench_gates_smoke_output() {
         .expect("spawn adamel-report");
     assert!(ok.success(), "validate-bench rejected healthy smoke output: {ok:?}");
 
-    // Break the contract (pretend the warm phase missed) and require exit 1.
     let text = std::fs::read_to_string(&out).expect("read output");
-    let broken = text.replacen("\"hit_rate\": 1.000", "\"hit_rate\": 0.500", 1);
-    assert_ne!(broken, text, "expected a hit_rate of 1.000 in healthy output");
-    std::fs::write(&out, &broken).expect("write broken output");
-    let bad = Command::new(report)
-        .arg("validate-bench")
-        .arg(&out)
-        .stderr(std::process::Stdio::null())
-        .status()
-        .expect("spawn adamel-report");
+    let must_fail = |broken: String, what: &str| {
+        assert_ne!(broken, text, "mutation for `{what}` did not change the document");
+        std::fs::write(&out, &broken).expect("write broken output");
+        let bad = Command::new(report)
+            .arg("validate-bench")
+            .arg(&out)
+            .stderr(std::process::Stdio::null())
+            .status()
+            .expect("spawn adamel-report");
+        assert_eq!(bad.code(), Some(1), "validate-bench must fail: {what}");
+    };
+
+    // Break the cache contract (pretend the warm phase missed).
+    must_fail(
+        text.replacen("\"hit_rate\": 1.000", "\"hit_rate\": 0.500", 1),
+        "warm-phase hit_rate below 0.99",
+    );
+    // Hide the compiled-plan row.
+    must_fail(
+        text.replace("\"kernel\": \"predict_plan\"", "\"kernel\": \"predict_plan_gone\""),
+        "missing predict_plan row",
+    );
+    // Make the plan lose badly to the tape it replaced (rows are one per
+    // line, so rewrite the `ms` value on the predict_plan lines).
+    must_fail(
+        text.lines()
+            .map(|l| {
+                if l.contains("\"kernel\": \"predict_plan\"") {
+                    let (head, rest) = l.split_once("\"ms\": ").expect("ms field");
+                    let (_, tail) = rest.split_once(',').expect("ms value end");
+                    format!("{head}\"ms\": 999999.0,{tail}")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n",
+        "predict_plan slower than predict_tape",
+    );
+    // Zero out the GEMM flop accounting (rows are one per line).
+    must_fail(
+        text.lines()
+            .map(|l| {
+                if l.contains("\"kernel\": \"matmul") {
+                    let (head, rest) = l.split_once("\"gflops\": ").expect("gflops field");
+                    let tail = if rest.trim_end().ends_with("},") { "}," } else { "}" };
+                    format!("{head}\"gflops\": 0.000{tail}")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n",
+        "matmul gflops zeroed",
+    );
+
     let _ = std::fs::remove_file(&out);
-    assert_eq!(bad.code(), Some(1), "validate-bench must fail a broken cache contract");
 }

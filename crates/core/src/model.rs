@@ -8,10 +8,12 @@
 
 use crate::config::AdamelConfig;
 use adamel_schema::{EntityPair, FeatureExtractor, Schema};
+use adamel_tensor::plan::{BufferPool, CompiledPlan};
 use adamel_tensor::{init, parallel, Graph, Matrix, ParamId, ParamSet, Var};
 use adamel_text::HashedFastText;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::OnceLock;
 
 /// Handles to all trainable parameters.
 pub(crate) struct ModelParams {
@@ -35,11 +37,33 @@ pub(crate) struct ModelParams {
 
 /// Output node handles of one forward construction.
 pub(crate) struct ForwardNodes {
+    /// The encoded-batch constant the forward was built over (the plan
+    /// compiler's replay-time leaf).
+    pub input: Var,
     /// Attention distribution `f(x)`, shape `n x F`.
     pub attention: Var,
     /// Classifier logits, shape `n x 1`.
     pub logits: Var,
 }
+
+/// The tape-free inference programs, compiled lazily from one probe forward.
+///
+/// Two separately pruned plans: the attention plan stops at `f(x)` and never
+/// replays the classifier, so knowledge-transfer extraction (`attention_*`)
+/// pays only the head's FLOPs. Each plan gets its own warm-buffer pool
+/// because buffer *i* holds differently shaped intermediates per plan.
+struct CompiledForward {
+    predict: CompiledPlan,
+    attention: CompiledPlan,
+    predict_pool: BufferPool,
+    attention_pool: BufferPool,
+}
+
+/// Probe batch size used to record the plan. Any value ≥ 2 works; 2 keeps
+/// the probe cheap while staying clear of row-count 1, which legitimate
+/// `1 x k` constants (none today) could collide with in the compiler's
+/// scaling-constant check.
+const PLAN_PROBE_ROWS: usize = 2;
 
 /// Batch-inference chunk size: `predict`/`attention` build one bounded
 /// autograd graph per block of this many rows and score blocks on scoped
@@ -58,6 +82,12 @@ pub struct AdamelModel {
     pub(crate) extractor: FeatureExtractor,
     pub(crate) params: ParamSet,
     pub(crate) ids: ModelParams,
+    /// Lazily compiled inference plans. `None` inside the cell means the
+    /// graph was probed and found non-specializable (uniform-attention
+    /// ablation, zero features) — inference then stays on the tape path.
+    /// Plans read parameters live from `self.params`, so training and
+    /// [`restore_params`](Self::restore_params) never invalidate them.
+    plan: OnceLock<Option<CompiledForward>>,
 }
 
 impl AdamelModel {
@@ -88,7 +118,7 @@ impl AdamelModel {
         let b2 = params.insert("Theta.b2", Matrix::zeros(1, 1));
 
         let ids = ModelParams { v, b, w_att, a_att, w1, b1, w2, b2 };
-        Self { cfg, extractor, params, ids }
+        Self { cfg, extractor, params, ids, plan: OnceLock::new() }
     }
 
     /// The configuration.
@@ -129,8 +159,9 @@ impl AdamelModel {
     }
 
     /// Estimated forward FLOPs per encoded row — the paper's §4.5
-    /// `O(FDH + HH' + FH'H_hidden)` cost, used to plan inference dispatch.
-    fn per_row_flops(&self) -> usize {
+    /// `O(FDH + HH' + FH'H_hidden)` cost, used to plan inference dispatch
+    /// and to normalize bench timings into GFLOP/s.
+    pub fn per_row_flops(&self) -> usize {
         let f = self.extractor.num_features();
         let (d, h, ha, hh) =
             (self.cfg.embed_dim, self.cfg.feature_dim, self.cfg.attention_dim, self.cfg.hidden_dim);
@@ -201,7 +232,33 @@ impl AdamelModel {
         let logits = g.linear(hidden, w2, b2);
         drop(phase);
 
-        ForwardNodes { attention, logits }
+        ForwardNodes { input, attention, logits }
+    }
+
+    /// The compiled inference plans, built on first use from one probe
+    /// forward at [`PLAN_PROBE_ROWS`] rows. Returns `None` when the graph
+    /// cannot be shape-specialized (the uniform-attention ablation records
+    /// a batch-sized constant; a featureless schema has nothing to record)
+    /// — callers then fall back to the tape path, which handles every graph.
+    fn compiled(&self) -> Option<&CompiledForward> {
+        self.plan
+            .get_or_init(|| {
+                let cols = self.extractor.num_features() * self.cfg.embed_dim;
+                if cols == 0 {
+                    return None;
+                }
+                let mut g = Graph::new();
+                let nodes = self.forward(&mut g, Matrix::zeros(PLAN_PROBE_ROWS, cols));
+                let predict = CompiledPlan::compile(&g, nodes.input, &[nodes.logits]).ok()?;
+                let attention = CompiledPlan::compile(&g, nodes.input, &[nodes.attention]).ok()?;
+                Some(CompiledForward {
+                    predict,
+                    attention,
+                    predict_pool: BufferPool::new(),
+                    attention_pool: BufferPool::new(),
+                })
+            })
+            .as_ref()
     }
 
     /// Builds the full forward graph over an encoded batch and returns the
@@ -219,11 +276,26 @@ impl AdamelModel {
         if pairs.is_empty() {
             return Vec::new();
         }
+        if self.compiled().is_some() {
+            return self.predict_encoded(&self.encode(pairs));
+        }
         self.predict_owned(self.encode(pairs))
     }
 
-    /// Match scores for pre-encoded pairs.
+    /// Match scores for pre-encoded pairs. Replays the compiled plan when
+    /// the graph is specializable, else records a tape per chunk; both paths
+    /// chunk at the same boundaries and are bit-identical.
     pub fn predict_encoded(&self, encoded: &Matrix) -> Vec<f32> {
+        match self.compiled() {
+            Some(cf) => self.predict_plan(cf, encoded),
+            None => self.predict_encoded_tape(encoded),
+        }
+    }
+
+    /// Tape-path scoring: records a fresh autograd graph per chunk. This is
+    /// the reference implementation the plan path is bit-compared against
+    /// (and the fallback for non-specializable graphs).
+    pub fn predict_encoded_tape(&self, encoded: &Matrix) -> Vec<f32> {
         if encoded.rows() <= PREDICT_CHUNK_ROWS {
             // Single-graph path; the clone here matches the historical cost
             // of the borrowed-forward copy and only hits small batches.
@@ -253,16 +325,52 @@ impl AdamelModel {
         scores
     }
 
-    /// Single-allocation fast path when the caller can hand over the batch.
+    /// Single-allocation tape fast path when the caller can hand over the
+    /// batch (only reached when no plan is available).
     fn predict_owned(&self, encoded: Matrix) -> Vec<f32> {
         if encoded.rows() > PREDICT_CHUNK_ROWS {
-            return self.predict_encoded(&encoded);
+            return self.predict_encoded_tape(&encoded);
         }
         adamel_obs::trace_span!("predict");
         adamel_obs::trace_count!("predict.rows", encoded.rows() as u64);
         let mut g = Graph::new();
         let nodes = self.forward(&mut g, encoded);
         g.value(nodes.logits).as_slice().iter().map(|&z| 1.0 / (1.0 + (-z).exp())).collect()
+    }
+
+    /// Plan-path scoring: replays the compiled program per chunk into warm
+    /// buffers from the pool. Chunk boundaries are the same function of
+    /// [`PREDICT_CHUNK_ROWS`] as the tape path, each chunk's rows are staged
+    /// by the same row-copy `slice_rows` performs, and replay runs the same
+    /// kernels the tape ops delegate to — so scores are bit-identical to
+    /// [`predict_encoded_tape`](Self::predict_encoded_tape).
+    fn predict_plan(&self, cf: &CompiledForward, encoded: &Matrix) -> Vec<f32> {
+        adamel_obs::trace_span!("predict");
+        adamel_obs::trace_count!("predict.rows", encoded.rows() as u64);
+        adamel_obs::trace_count!(
+            "predict.chunks",
+            encoded.rows().div_ceil(PREDICT_CHUNK_ROWS) as u64
+        );
+        let mut scores = vec![0.0f32; encoded.rows()];
+        if encoded.rows() == 0 {
+            return scores;
+        }
+        parallel::parallel_for_row_blocks(
+            &mut scores,
+            1,
+            PREDICT_CHUNK_ROWS,
+            self.per_row_flops(),
+            |start, block| {
+                let mut bufs = cf.predict_pool.checkout();
+                cf.predict.execute_rows(&self.params, encoded, start, block.len(), &mut bufs);
+                let logits = cf.predict.output(0, &bufs);
+                for (o, &z) in block.iter_mut().zip(logits.as_slice()) {
+                    *o = 1.0 / (1.0 + (-z).exp());
+                }
+                cf.predict_pool.put_back(bufs);
+            },
+        );
+        scores
     }
 
     /// Per-pair attention distributions `f(x)` (`n x F`, rows sum to 1) —
@@ -272,8 +380,45 @@ impl AdamelModel {
         self.attention_encoded(&encoded)
     }
 
-    /// Attention distributions for pre-encoded pairs.
+    /// Attention distributions for pre-encoded pairs. Replays the pruned
+    /// attention plan (classifier skipped) when available, else records a
+    /// tape per chunk; both paths are bit-identical.
     pub fn attention_encoded(&self, encoded: &Matrix) -> Matrix {
+        match self.compiled() {
+            Some(cf) => self.attention_plan(cf, encoded),
+            None => self.attention_encoded_tape(encoded),
+        }
+    }
+
+    /// Plan-path attention extraction; see
+    /// [`predict_plan`](Self::predict_plan) for the bit-identity argument.
+    fn attention_plan(&self, cf: &CompiledForward, encoded: &Matrix) -> Matrix {
+        adamel_obs::trace_span!("attention");
+        adamel_obs::trace_count!("attention.rows", encoded.rows() as u64);
+        let f = self.extractor.num_features();
+        let mut out = Matrix::zeros(encoded.rows(), f);
+        if encoded.rows() == 0 {
+            return out;
+        }
+        parallel::parallel_for_row_blocks(
+            out.as_mut_slice(),
+            f,
+            PREDICT_CHUNK_ROWS,
+            self.per_row_flops(),
+            |start, block| {
+                let mut bufs = cf.attention_pool.checkout();
+                let rows = block.len() / f;
+                cf.attention.execute_rows(&self.params, encoded, start, rows, &mut bufs);
+                block.copy_from_slice(cf.attention.output(0, &bufs).as_slice());
+                cf.attention_pool.put_back(bufs);
+            },
+        );
+        out
+    }
+
+    /// Tape-path attention extraction: records a fresh graph per chunk. The
+    /// reference implementation the plan path is bit-compared against.
+    pub fn attention_encoded_tape(&self, encoded: &Matrix) -> Matrix {
         adamel_obs::trace_span!("attention");
         adamel_obs::trace_count!("attention.rows", encoded.rows() as u64);
         let f = self.extractor.num_features();

@@ -1,0 +1,147 @@
+//! The compiled inference plan must be invisible: replaying the tape-free
+//! [`CompiledPlan`] program must produce **bit-identical** scores and
+//! attention distributions to recording a fresh autograd graph per chunk,
+//! at every chunk-boundary batch size, in every feature mode, at every
+//! thread count, and after parameters change. Graphs that cannot be
+//! shape-specialized (the uniform-attention ablation) must fall back to the
+//! tape path silently.
+
+use adamel::config::AdamelConfig;
+use adamel::model::AdamelModel;
+use adamel::{fit, Variant};
+use adamel_schema::{Domain, EntityPair, FeatureMode, Record, Schema, SourceId};
+use adamel_tensor::parallel;
+
+fn rec(source: u32, id: u64, name: &str, city: &str) -> Record {
+    let mut r = Record::new(SourceId(source), id);
+    r.set("name", name);
+    r.set("city", city);
+    r
+}
+
+/// `n` synthetic pairs mixing matches, non-matches, and missing values.
+fn pairs_n(n: u64) -> Vec<EntityPair> {
+    let names = ["acme corp", "globex", "initech", "umbrella", "hooli", "stark"];
+    let cities = ["berlin", "tokyo", "lima", ""];
+    (0..n)
+        .map(|i| {
+            let nm = names[(i % 6) as usize];
+            let c = cities[(i % 4) as usize];
+            let other = names[((i + 1) % 6) as usize];
+            let left = rec(0, i, nm, c);
+            let right = if i % 3 == 0 { rec(1, i, nm, c) } else { rec(1, i, other, c) };
+            EntityPair::unlabeled(left, right)
+        })
+        .collect()
+}
+
+fn schema() -> Schema {
+    Schema::new(vec!["name".into(), "city".into()])
+}
+
+fn bits(scores: &[f32]) -> Vec<u32> {
+    scores.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Asserts plan and tape agree bit-for-bit on both inference surfaces.
+fn assert_plan_matches_tape(m: &AdamelModel, n: u64, label: &str) {
+    let encoded = m.encode(&pairs_n(n));
+
+    let plan_scores = m.predict_encoded(&encoded);
+    let tape_scores = m.predict_encoded_tape(&encoded);
+    assert_eq!(
+        bits(&plan_scores),
+        bits(&tape_scores),
+        "{label}: plan scores drifted from tape at n = {n}"
+    );
+
+    let plan_att = m.attention_encoded(&encoded);
+    let tape_att = m.attention_encoded_tape(&encoded);
+    assert_eq!(plan_att.shape(), tape_att.shape(), "{label}: attention shape at n = {n}");
+    assert_eq!(
+        bits(plan_att.as_slice()),
+        bits(tape_att.as_slice()),
+        "{label}: plan attention drifted from tape at n = {n}"
+    );
+}
+
+#[test]
+fn plan_matches_tape_at_chunk_boundaries() {
+    // One below, exactly at, one above, and a multiple of the 512-row chunk
+    // size: the plan path chunks at the same boundaries as the tape path,
+    // so every split point is exercised.
+    let m = AdamelModel::new(AdamelConfig::tiny(), schema());
+    for n in [511u64, 512, 513, 1024] {
+        assert_plan_matches_tape(&m, n, "boundaries");
+    }
+}
+
+#[test]
+fn plan_matches_tape_across_feature_modes() {
+    for mode in [FeatureMode::SharedOnly, FeatureMode::UniqueOnly, FeatureMode::Both] {
+        let cfg = AdamelConfig::tiny().with_feature_mode(mode);
+        let m = AdamelModel::new(cfg, schema());
+        assert_plan_matches_tape(&m, 600, &format!("{mode:?}"));
+    }
+}
+
+#[test]
+fn plan_is_thread_count_invariant() {
+    let m = AdamelModel::new(AdamelConfig::tiny(), schema());
+    let encoded = m.encode(&pairs_n(1024));
+    let base = parallel::with_threads(1, || m.predict_encoded(&encoded));
+    let base_att = parallel::with_threads(1, || m.attention_encoded(&encoded));
+    for t in [2, 4, 8] {
+        let scores = parallel::with_threads(t, || m.predict_encoded(&encoded));
+        assert_eq!(bits(&base), bits(&scores), "plan scores vary at {t} threads");
+        let att = parallel::with_threads(t, || m.attention_encoded(&encoded));
+        assert_eq!(
+            bits(base_att.as_slice()),
+            bits(att.as_slice()),
+            "plan attention varies at {t} threads"
+        );
+    }
+}
+
+#[test]
+fn uniform_attention_falls_back_to_tape() {
+    // The ablation records an `n x F` constant, which the plan compiler must
+    // reject (it cannot be shape-specialized); inference silently stays on
+    // the tape path and still crosses chunk boundaries correctly.
+    let cfg = AdamelConfig::tiny().with_uniform_attention(true);
+    let m = AdamelModel::new(cfg, schema());
+    let encoded = m.encode(&pairs_n(600));
+    let scores = m.predict_encoded(&encoded);
+    assert_eq!(bits(&scores), bits(&m.predict_encoded_tape(&encoded)));
+    let att = m.attention_encoded(&encoded);
+    let f = m.extractor().num_features();
+    for i in 0..att.rows() {
+        for &v in att.row(i) {
+            assert_eq!(v, 1.0 / f as f32, "uniform attention row {i}");
+        }
+    }
+}
+
+#[test]
+fn plan_stays_valid_after_training() {
+    // Compile the plan against the freshly initialized parameters, then
+    // mutate every parameter by training; the plan reads parameters live,
+    // so replay must track the trained weights bit-for-bit.
+    let mut m = AdamelModel::new(AdamelConfig::tiny(), schema());
+    let before = m.predict(&pairs_n(16)); // forces plan compilation
+    assert_eq!(before.len(), 16);
+
+    let train: Vec<EntityPair> = pairs_n(24)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| EntityPair::labeled(p.left, p.right, i % 3 == 0))
+        .collect();
+    fit(&mut m, Variant::Base, &Domain::new(train), None, None);
+
+    assert_plan_matches_tape(&m, 513, "post-training");
+
+    // And after restoring a snapshot (best-model tracking path).
+    let snapshot = m.snapshot_params();
+    m.restore_params(&snapshot).expect("round-trip restore");
+    assert_plan_matches_tape(&m, 40, "post-restore");
+}

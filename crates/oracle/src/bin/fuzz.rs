@@ -8,17 +8,18 @@
 //! cargo run -p adamel-oracle --bin fuzz -- --iters 500 --seed 42 --size 12
 //! ```
 
-use adamel_oracle::{check_program, gen_program, render_reproducer, shrink};
+use adamel_oracle::{check_program, gen_program_with, render_reproducer, shrink, GenOptions};
 use std::process::ExitCode;
 
 struct Args {
     iters: u64,
     seed: u64,
     size: usize,
+    blocked: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { iters: 100, seed: 0x0adae1, size: 10 };
+    let mut args = Args { iters: 100, seed: 0x0adae1, size: 10, blocked: false };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -34,8 +35,9 @@ fn parse_args() -> Result<Args, String> {
             "--size" => {
                 args.size = value("--size")?.parse().map_err(|e| format!("--size: {e}"))?;
             }
+            "--blocked" => args.blocked = true,
             "--help" | "-h" => {
-                println!("usage: fuzz [--iters N] [--seed S] [--size K]");
+                println!("usage: fuzz [--iters N] [--seed S] [--size K] [--blocked]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
@@ -53,14 +55,18 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "fuzzing {} programs (seed {}, size {}) against the f64 oracle",
-        args.iters, args.seed, args.size
+        "fuzzing {} programs (seed {}, size {}{}) against the f64 oracle",
+        args.iters,
+        args.seed,
+        args.size,
+        if args.blocked { ", blocked-kernel shapes" } else { "" }
     );
     for i in 0..args.iters {
         // Mix the iteration index into the seed so each program is
         // independent yet the whole run replays from --seed alone.
         let seed = args.seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        let program = gen_program(seed, args.size);
+        let program =
+            gen_program_with(seed, &GenOptions { size: args.size, blocked: args.blocked });
         let Err(d) = check_program(&program) else {
             if (i + 1) % 50 == 0 {
                 println!("  {}/{} ok", i + 1, args.iters);

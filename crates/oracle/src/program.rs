@@ -422,6 +422,10 @@ pub fn check_program(p: &Program) -> Result<(), Discrepancy> {
     check_with_fault(p, None)
 }
 
+/// Upper bound on gradient elements finite-difference-checked per parameter;
+/// beyond it a deterministic stride subsamples the tensor.
+const GRAD_CHECK_MAX_ELEMENTS: usize = 64;
+
 /// [`check_program`] with an optional injected fault — the mutation hook the
 /// harness's own tests use to prove a corrupted kernel output is caught.
 pub fn check_with_fault(p: &Program, fault: Option<Fault>) -> Result<(), Discrepancy> {
@@ -476,6 +480,10 @@ pub fn check_with_fault(p: &Program, fault: Option<Fault>) -> Result<(), Discrep
     }
 
     // Backward: production gradients vs oracle central finite differences.
+    // Large parameters (the blocked-shape profile emits up to 17x17 leaves)
+    // are subsampled with a deterministic stride so fuzz throughput stays
+    // usable; the stride depends only on the tensor size, so a seed always
+    // checks the same elements and reproducers stay exact.
     let param_order: Vec<usize> = p
         .insts
         .iter()
@@ -492,8 +500,11 @@ pub fn check_with_fault(p: &Program, fault: Option<Fault>) -> Result<(), Discrep
         .collect();
     for (k, &pi) in param_order.iter().enumerate() {
         let Some(grad) = &run.grads[pi] else { continue };
-        for r in 0..grad.rows() {
-            for c in 0..grad.cols() {
+        let total = grad.rows() * grad.cols();
+        let stride = total.div_ceil(GRAD_CHECK_MAX_ELEMENTS).max(1);
+        for flat in (0..total).step_by(stride) {
+            let (r, c) = (flat / grad.cols(), flat % grad.cols());
+            {
                 let x = base[k].get(r, c);
                 let h = 1e-3 * x.abs().max(1.0);
                 let eval = |delta: f64| -> f64 {
@@ -526,10 +537,34 @@ pub fn check_with_fault(p: &Program, fault: Option<Fault>) -> Result<(), Discrep
     Ok(())
 }
 
+/// Shape profile for [`gen_program_with`].
+#[derive(Debug, Clone)]
+pub struct GenOptions {
+    /// Rough instruction count of the generated program.
+    pub size: usize,
+    /// When true, parameter leaves are drawn from a blocked-kernel palette —
+    /// dims crossing the `MR`/`NR` register-tile edges plus 16/17, so matmuls
+    /// land on both sides of the blocked-dispatch threshold (a 16³ product is
+    /// the smallest that takes the blocked path) — instead of `1..=4`.
+    pub blocked: bool,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        Self { size: 8, blocked: false }
+    }
+}
+
 /// Generates a random well-shaped program with roughly `size` instructions,
 /// rejecting nodes whose oracle value explodes past `1e4`. All sinks are
 /// folded through `MeanAll` and an `Add` chain into a single scalar root.
 pub fn gen_program(seed: u64, size: usize) -> Program {
+    gen_program_with(seed, &GenOptions { size, blocked: false })
+}
+
+/// [`gen_program`] with an explicit shape profile.
+pub fn gen_program_with(seed: u64, opts: &GenOptions) -> Program {
+    let size = opts.size;
     let mut rng = StdRng::seed_from_u64(seed ^ 0x6f72_6163); // "orac"
     let mut insts: Vec<Inst> = Vec::new();
     let mut values: Vec<RefMatrix> = Vec::new();
@@ -546,10 +581,23 @@ pub fn gen_program(seed: u64, size: usize) -> Program {
         true
     };
 
-    let n_params = 1 + rng.gen_range(0..3usize);
+    // The blocked palette repeats 16 so `a.cols == b.rows` coincidences (the
+    // matmul precondition) stay common despite the wider dim spread.
+    let blocked_dims: [usize; 8] = {
+        use adamel_tensor::gemm::{MR, NR};
+        [1, MR, MR + 1, NR, NR + 1, 16, 16, 17]
+    };
+    let dim = |rng: &mut StdRng| -> usize {
+        if opts.blocked {
+            blocked_dims[rng.gen_range(0..blocked_dims.len())]
+        } else {
+            rng.gen_range(1..=4usize)
+        }
+    };
+    let n_params = 1 + rng.gen_range(0..3usize) + usize::from(opts.blocked);
     for _ in 0..n_params {
-        let rows = rng.gen_range(1..=4usize);
-        let cols = rng.gen_range(1..=4usize);
+        let rows = dim(&mut rng);
+        let cols = dim(&mut rng);
         let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
         push(&mut insts, &mut values, Inst::Param { rows, cols, data });
     }
@@ -898,6 +946,48 @@ mod tests {
                 for q in inst.parents() {
                     assert!(q < i, "forward reference in seed {seed}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_profile_reaches_blocked_dispatch() {
+        use adamel_tensor::gemm::use_blocked;
+        // Across a handful of seeds the blocked palette must generate at
+        // least one matmul that actually takes the blocked kernel path —
+        // otherwise the `--blocked` fuzz profile silently tests nothing new.
+        let mut hit = false;
+        for seed in 0..24 {
+            let p = gen_program_with(seed, &GenOptions { size: 10, blocked: true });
+            let mut shapes: Vec<(usize, usize)> = Vec::new();
+            for inst in &p.insts {
+                let parents: Vec<RefMatrix> = inst
+                    .parents()
+                    .iter()
+                    .map(|&q| shapes[q])
+                    .map(|(r, c)| RefMatrix::zeros(r, c))
+                    .collect();
+                let v = oracle_apply(inst, &parents);
+                if let Inst::MatMul { a, b } = inst {
+                    let (n, k) = shapes[*a];
+                    let m = shapes[*b].1;
+                    debug_assert_eq!(k, shapes[*b].0);
+                    if use_blocked(n, k, m) {
+                        hit = true;
+                    }
+                }
+                shapes.push(v.shape());
+            }
+        }
+        assert!(hit, "no generated matmul dispatches to the blocked kernels");
+    }
+
+    #[test]
+    fn blocked_programs_pass_differential_check() {
+        for seed in 100..104 {
+            let p = gen_program_with(seed, &GenOptions { size: 10, blocked: true });
+            if let Err(d) = check_program(&p) {
+                panic!("blocked program seed {seed} diverges: {d}");
             }
         }
     }

@@ -1,0 +1,345 @@
+//! Cache-blocked GEMM microkernels behind the three [`Matrix`] matmul
+//! variants.
+//!
+//! The naive `ikj` loops stream the full `B` operand through cache once per
+//! output row; past a few hundred rows that is memory-bound, not
+//! compute-bound. This module implements the classic BLIS-style blocking
+//! scheme in safe, std-only Rust:
+//!
+//! * **Panel packing.** `B` is packed once per call into column panels of
+//!   [`NR`] lanes (`panel[p * NR + l] = B[p, j0 + l]`, zero-padded at the
+//!   ragged edge) so the microkernel reads it as one forward-moving
+//!   contiguous stream. Each worker packs its own `A` row panels of [`MR`]
+//!   rows per [`KC`]-deep slab the same way. Packing is what makes the inner
+//!   loop autovectorization-friendly regardless of the logical operand
+//!   layout — the same packed kernel serves `A·B`, `Aᵀ·B`, and `A·Bᵀ` by
+//!   changing only the *pack-time* strides.
+//! * **Register-blocked microkernel.** An [`MR`]`x`[`NR`] accumulator tile
+//!   lives in a local array; each of the `KC` iterations broadcasts one `A`
+//!   lane against [`NR`] `B` lanes. The constant tile bounds let LLVM keep
+//!   the tile in vector registers and elide bounds checks.
+//! * **Thread partitioning.** The `M` dimension is split into [`MC`]-row
+//!   blocks dispatched through [`crate::parallel::parallel_for_row_blocks`];
+//!   block boundaries are a function of [`MC`] alone, never the worker
+//!   count. Packed-`A` scratch lives in a per-thread arena
+//!   (`thread_local!` take/restore, no locks); the packed `B` panel is built
+//!   once on the dispatching thread and shared read-only.
+//!
+//! **Bit-exactness contract.** Every output element is accumulated by a
+//! *single* accumulator in strictly ascending `k` order: the microkernel
+//! zero-initialises its tile on the first `KC` slab, reloads the partial
+//! `C` tile on later slabs, and adds exactly one rounded `a·b` product per
+//! `k` step (no FMA — the workspace forbids `unsafe`, so there are no
+//! intrinsics, and LLVM may not fuse without fast-math). That is the same
+//! per-element operation sequence as the historical naive kernels, so for
+//! finite inputs the blocked path is **bit-identical** to them — golden
+//! fixtures, thread-count invariance, and the chunked-predict equality
+//! tests all hold without re-blessing. The per-op ULP budgets in
+//! `adamel-oracle` are nonetheless widened by a per-[`KC`]-panel term
+//! (DESIGN.md §15) so a future kernel may split the `k` reduction across
+//! panels without a budget change.
+
+use crate::parallel;
+use std::cell::Cell;
+
+/// Microkernel tile height: rows of `A` (and `C`) per register tile.
+pub const MR: usize = 4;
+
+/// Microkernel tile width: columns of `B` (and `C`) per register tile.
+///
+/// `MR * NR = 32` accumulators fit the 16 x 128-bit registers of baseline
+/// x86-64 with room for the broadcast and load lanes.
+pub const NR: usize = 8;
+
+/// Depth of one packed `k` slab; bounds the packed-`A`/`B` panel footprint
+/// (`MR*KC` and `NR*KC` f32 respectively) to L1-friendly sizes.
+pub const KC: usize = 256;
+
+/// Rows of `C` per dispatch block: each worker packs at most `MC x KC`
+/// elements of `A` at a time (~128 KiB), and thread partitioning happens on
+/// [`MC`]-row boundaries so results never depend on the worker count.
+pub const MC: usize = 64;
+
+/// FLOP floor (`2*n*k*m`) below which the packing overhead is not worth it
+/// and callers keep the naive loops. Both paths are bit-identical, so the
+/// threshold is purely a performance knob.
+pub const BLOCKED_MIN_FLOPS: usize = 1 << 13;
+
+/// True when the blocked path should handle an `(n,k) x (k,m)` product.
+///
+/// Degenerate tiles (fewer rows than [`MR`] or columns than [`NR`]) waste
+/// most of the padded microkernel, so they stay on the naive loops too.
+#[inline]
+pub fn use_blocked(n: usize, k: usize, m: usize) -> bool {
+    n >= MR && m >= NR && 2usize.saturating_mul(n * k).saturating_mul(m) >= BLOCKED_MIN_FLOPS
+}
+
+/// A logical `rows x cols` view over a row-major backing slice: element
+/// `(i, j)` lives at `data[i * rs + j * cs]`. Transposed operands are
+/// expressed by swapping the strides; only packing ever reads through them.
+pub(crate) struct Operand<'a> {
+    pub data: &'a [f32],
+    pub rs: usize,
+    pub cs: usize,
+}
+
+impl Operand<'_> {
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.rs + j * self.cs]
+    }
+}
+
+thread_local! {
+    /// Per-thread packed-`A` arena: taken at block entry, restored (with its
+    /// grown capacity) on exit, so steady-state packing is allocation-free.
+    static PACK_A: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+    /// Per-thread packed-`B` arena for the dispatching thread.
+    static PACK_B: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+}
+
+/// Computes `out = A · B` for logical `(n,k) x (k,m)` operands, fully
+/// overwriting the row-major `out` (length `n * m`).
+pub(crate) fn gemm(
+    n: usize,
+    k: usize,
+    m: usize,
+    a: &Operand<'_>,
+    b: &Operand<'_>,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), n * m, "gemm: output buffer shape mismatch");
+    if n == 0 || m == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    // Pack B once, on the dispatching thread; workers share it read-only.
+    let mut bbuf = PACK_B.with(Cell::take);
+    pack_b(k, m, b, &mut bbuf);
+    let bpacked: &[f32] = &bbuf;
+    parallel::parallel_for_row_blocks(out, m, MC, 2 * k * m, |i0, c_block| {
+        let mut abuf = PACK_A.with(Cell::take);
+        gemm_block(i0, c_block.len() / m, k, m, a, bpacked, c_block, &mut abuf);
+        PACK_A.with(|c| c.set(abuf));
+    });
+    PACK_B.with(|c| c.set(bbuf));
+}
+
+/// Packs `B` into `NR`-lane column panels: lane `l` of panel `jp` at depth
+/// `p` is `B[p, jp*NR + l]`, with out-of-range lanes zeroed so edge tiles
+/// accumulate exact `±0.0` products that are never stored.
+fn pack_b(k: usize, m: usize, b: &Operand<'_>, buf: &mut Vec<f32>) {
+    let panels = m.div_ceil(NR);
+    buf.clear();
+    buf.resize(panels * k * NR, 0.0);
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let w = NR.min(m - j0);
+        let panel = &mut buf[jp * k * NR..(jp + 1) * k * NR];
+        for (p, row) in panel.chunks_exact_mut(NR).enumerate() {
+            for (l, slot) in row.iter_mut().enumerate() {
+                *slot = if l < w { b.at(p, j0 + l) } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Packs rows `i0 .. i0+rows` of `A` over depths `pc .. pc+kc` into
+/// `MR`-row panels: `panel[p_local * MR + r] = A[i0 + ip*MR + r, pc + p_local]`,
+/// zero-padding rows past the block edge.
+fn pack_a(a: &Operand<'_>, i0: usize, rows: usize, pc: usize, kc: usize, buf: &mut Vec<f32>) {
+    let panels = rows.div_ceil(MR);
+    buf.clear();
+    buf.resize(panels * kc * MR, 0.0);
+    for ip in 0..panels {
+        let r0 = ip * MR;
+        let h = MR.min(rows - r0);
+        let panel = &mut buf[ip * kc * MR..(ip + 1) * kc * MR];
+        for (p, col) in panel.chunks_exact_mut(MR).enumerate() {
+            for (r, slot) in col.iter_mut().enumerate() {
+                *slot = if r < h { a.at(i0 + r0 + r, pc + p) } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// One worker's share: all `KC` slabs over an `MC`-bounded row block of `C`.
+/// Slabs run in ascending `pc` order so each `C` element sees its products
+/// in exactly the naive kernels' ascending-`k` order.
+#[allow(clippy::too_many_arguments)]
+fn gemm_block(
+    i0: usize,
+    rows: usize,
+    k: usize,
+    m: usize,
+    a: &Operand<'_>,
+    bpacked: &[f32],
+    c: &mut [f32],
+    abuf: &mut Vec<f32>,
+) {
+    let jpanels = m.div_ceil(NR);
+    let ipanels = rows.div_ceil(MR);
+    let mut pc = 0;
+    while pc < k {
+        let kc = KC.min(k - pc);
+        pack_a(a, i0, rows, pc, kc, abuf);
+        let first = pc == 0;
+        for jp in 0..jpanels {
+            let bpanel = &bpacked[jp * k * NR + pc * NR..jp * k * NR + (pc + kc) * NR];
+            let j0 = jp * NR;
+            let jw = NR.min(m - j0);
+            for ip in 0..ipanels {
+                let apanel = &abuf[ip * kc * MR..(ip + 1) * kc * MR];
+                let iw = MR.min(rows - ip * MR);
+                microkernel(apanel, bpanel, c, ip * MR, j0, iw, jw, m, first);
+            }
+        }
+        pc += kc;
+    }
+}
+
+/// The register tile: `acc[r][l] (+)= Σ_p apanel[p][r] * bpanel[p][l]` with
+/// one rounded multiply-add per step. `first` selects zero-init over a `C`
+/// reload so depth-0 starts from `+0.0` exactly like the naive kernels.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn microkernel(
+    apanel: &[f32],
+    bpanel: &[f32],
+    c: &mut [f32],
+    ci: usize,
+    cj: usize,
+    iw: usize,
+    jw: usize,
+    ldc: usize,
+    first: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if !first {
+        for (r, accr) in acc.iter_mut().enumerate().take(iw) {
+            let crow = &c[(ci + r) * ldc + cj..(ci + r) * ldc + cj + jw];
+            accr[..jw].copy_from_slice(crow);
+        }
+    }
+    for (arow, brow) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = arow[r];
+            for (l, slot) in accr.iter_mut().enumerate() {
+                *slot += av * brow[l];
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate().take(iw) {
+        let crow = &mut c[(ci + r) * ldc + cj..(ci + r) * ldc + cj + jw];
+        crow.copy_from_slice(&accr[..jw]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::parallel::with_threads;
+
+    /// Deterministic pseudo-random fill (splitmix-style) in [-2, 2).
+    fn fill(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state >> 30;
+            state = state.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x94d0_49bb_1331_11eb);
+            state ^= state >> 31;
+            (state >> 40) as f32 / (1u64 << 22) as f32 - 2.0
+        };
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect())
+    }
+
+    /// The historical naive kernel, reimplemented locally so the blocked
+    /// path is pinned to the exact accumulation order, not just "close".
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let (n, k, m) = (a.rows(), a.cols(), b.cols());
+        let mut out = Matrix::zeros(n, m);
+        for i in 0..n {
+            for p in 0..k {
+                let av = a.get(i, p);
+                for j in 0..m {
+                    let v = out.get(i, j) + av * b.get(p, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_is_bit_identical_to_naive_across_edges() {
+        // Shapes straddle every tile boundary: MR/NR/KC/MC ±1 plus ragged
+        // primes. Bit-equality (not tolerance) is the contract.
+        for &(n, k, m) in &[
+            (MR, 3, NR),
+            (MR + 1, KC - 1, NR + 1),
+            (MR * 3 + 1, KC + 1, NR * 2 + 3),
+            (MC - 1, 7, NR),
+            (MC + 1, 5, NR * 2),
+            (17, KC, 13),
+        ] {
+            let a = fill(n, k, (n * 1000 + k) as u64);
+            let b = fill(k, m, (k * 1000 + m) as u64);
+            assert!(use_blocked(n, k, m) || 2 * n * k * m < BLOCKED_MIN_FLOPS);
+            let mut out = vec![0.0f32; n * m];
+            gemm(
+                n,
+                k,
+                m,
+                &Operand { data: a.as_slice(), rs: k, cs: 1 },
+                &Operand { data: b.as_slice(), rs: m, cs: 1 },
+                &mut out,
+            );
+            let reference = naive(&a, &b);
+            assert_eq!(out.as_slice(), reference.as_slice(), "shape ({n},{k},{m})");
+        }
+    }
+
+    #[test]
+    fn blocked_is_thread_count_invariant() {
+        let (n, k, m) = (MC * 2 + 3, KC + 5, NR * 3 + 1);
+        let a = fill(n, k, 11);
+        let b = fill(k, m, 13);
+        let run = |threads: usize| {
+            let mut out = vec![0.0f32; n * m];
+            with_threads(threads, || {
+                gemm(
+                    n,
+                    k,
+                    m,
+                    &Operand { data: a.as_slice(), rs: k, cs: 1 },
+                    &Operand { data: b.as_slice(), rs: m, cs: 1 },
+                    &mut out,
+                )
+            });
+            out
+        };
+        let serial = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_inner_dimension_zeroes_stale_output() {
+        let mut out = vec![7.0f32; 4 * NR];
+        gemm(
+            4,
+            0,
+            NR,
+            &Operand { data: &[], rs: 0, cs: 1 },
+            &Operand { data: &[], rs: NR, cs: 1 },
+            &mut out,
+        );
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+}

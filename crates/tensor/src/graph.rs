@@ -16,8 +16,15 @@ use crate::sanitize;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Var(usize);
 
+impl Var {
+    /// Position on the tape; the plan compiler keys its node tables on this.
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// The recorded operation of a tape node.
-enum Op {
+pub(crate) enum Op {
     /// Constant input; no gradient flows further.
     Constant,
     /// Leaf bound to a trainable parameter; backward accumulates into the
@@ -63,7 +70,7 @@ enum Op {
 
 impl Op {
     /// Stable op name for sanitizer provenance and diagnostics.
-    fn name(&self) -> &'static str {
+    pub(crate) fn name(&self) -> &'static str {
         match self {
             Op::Constant => "constant",
             Op::Param(_) => "param",
@@ -87,9 +94,9 @@ impl Op {
     }
 }
 
-struct Node {
-    value: Matrix,
-    op: Op,
+pub(crate) struct Node {
+    pub(crate) value: Matrix,
+    pub(crate) op: Op,
 }
 
 /// A define-by-run autograd tape.
@@ -119,6 +126,11 @@ impl Graph {
         }
         self.nodes.push(Node { value, op });
         Var(self.nodes.len() - 1)
+    }
+
+    /// The recorded tape, in push order; the plan compiler walks this.
+    pub(crate) fn tape(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// Number of nodes recorded so far.

@@ -52,8 +52,10 @@ mod matrix;
 mod optim;
 mod params;
 
+pub mod gemm;
 pub mod init;
 pub mod parallel;
+pub mod plan;
 pub mod sanitize;
 
 pub use graph::{Graph, Var};

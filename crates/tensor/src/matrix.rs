@@ -1,19 +1,27 @@
 //! Dense row-major `f32` matrices and the kernels the autograd layer builds on.
 //!
-//! The AdaMEL model is small (a few million parameters at paper scale), so a
-//! straightforward cache-friendly row-major implementation is sufficient; the
-//! only kernel that matters is [`Matrix::matmul`], which is written as an
-//! `ikj`-ordered triple loop so the inner loop is a contiguous SAXPY the
-//! compiler auto-vectorizes.
+//! The three matmul variants route products above [`crate::gemm`]'s FLOP
+//! floor through the cache-blocked, panel-packed microkernels of that
+//! module; small or degenerate shapes keep the historical naive loops
+//! (`ikj`-ordered, contiguous SAXPY inner loop). The two paths are
+//! **bit-identical** for finite inputs — both accumulate every output
+//! element with a single accumulator in ascending-`k` order — so the
+//! threshold is purely a performance knob.
 //!
-//! Every output-row-partitioned kernel (the three matmul variants and the
-//! large elementwise/broadcast ops) dispatches through
+//! Every output-row-partitioned kernel (the matmul variants and the large
+//! elementwise/broadcast ops) dispatches through
 //! [`crate::parallel::parallel_for_rows`]: inputs big enough to clear the
 //! FLOP threshold split their output rows across scoped threads, while small
 //! inputs keep the serial fast path. Each thread runs the same per-row loop
 //! in the same order, so results are bit-identical at any thread count.
+//!
+//! Hot ops come in pairs: the allocating form (`matmul`, `add`, …) and an
+//! `*_into` form writing into a caller-owned buffer. The allocating forms
+//! delegate to the `*_into` forms, so there is exactly one implementation of
+//! each kernel and the compiled inference plan ([`crate::plan`]) replaying
+//! into reused buffers computes bit-identical values to the autograd tape.
 
-use crate::parallel;
+use crate::{gemm, parallel};
 use std::fmt;
 
 /// A dense, row-major matrix of `f32` values.
@@ -36,6 +44,14 @@ impl fmt::Debug for Matrix {
             write!(f, " {:?}", self.data)?;
         }
         Ok(())
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 x 0` matrix — the placeholder `std::mem::take` swaps in
+    /// when plan buffers are staged.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 
@@ -163,15 +179,41 @@ impl Matrix {
         self.data[0]
     }
 
+    /// Reshapes in place to `rows x cols`, reusing the allocation. Contents
+    /// are unspecified afterwards; every `*_into` kernel fully overwrites
+    /// (or explicitly zeroes) the buffer before reading it.
+    pub(crate) fn reset_shape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        let len = rows * cols;
+        if self.data.len() != len {
+            self.data.resize(len, 0.0);
+        }
+    }
+
     /// Matrix product `self * other`; shapes `(n,k) x (k,m) -> (n,m)`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`matmul`](Self::matmul) into a caller-owned buffer (reshaped to fit).
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "Matrix::matmul: {}x{} * {}x{} shape mismatch",
             self.rows, self.cols, other.rows, other.cols
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(n, m);
+        out.reset_shape(n, m);
+        if gemm::use_blocked(n, k, m) {
+            let a = gemm::Operand { data: &self.data, rs: k, cs: 1 };
+            let b = gemm::Operand { data: &other.data, rs: m, cs: 1 };
+            gemm::gemm(n, k, m, &a, &b, &mut out.data);
+            return;
+        }
+        out.fill_zero();
         parallel::parallel_for_rows(&mut out.data, m, 2 * k * m, |i, out_row| {
             let a_row = &self.data[i * k..(i + 1) * k];
             for (p, &a_ip) in a_row.iter().enumerate() {
@@ -184,7 +226,6 @@ impl Matrix {
                 }
             }
         });
-        out
     }
 
     /// `selfᵀ * other`; shapes `(k,n)ᵀ x (k,m) -> (n,m)`. Used by backward
@@ -197,6 +238,14 @@ impl Matrix {
         );
         let (k, n, m) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(n, m);
+        if gemm::use_blocked(n, k, m) {
+            // The transpose is expressed purely through pack-time strides:
+            // logical A[i][p] = self.data[p * n + i].
+            let a = gemm::Operand { data: &self.data, rs: 1, cs: n };
+            let b = gemm::Operand { data: &other.data, rs: m, cs: 1 };
+            gemm::gemm(n, k, m, &a, &b, &mut out.data);
+            return out;
+        }
         // Per-output-row loop (rather than the k-outer order a transposed
         // product suggests) so rows can split across threads; each (i, j)
         // still accumulates over p in ascending order, keeping results
@@ -225,6 +274,13 @@ impl Matrix {
         );
         let (n, k, m) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(n, m);
+        if gemm::use_blocked(n, k, m) {
+            let a = gemm::Operand { data: &self.data, rs: k, cs: 1 };
+            // Logical B[p][j] = other.data[j * k + p].
+            let b = gemm::Operand { data: &other.data, rs: 1, cs: k };
+            gemm::gemm(n, k, m, &a, &b, &mut out.data);
+            return out;
+        }
         parallel::parallel_for_rows(&mut out.data, m, 2 * k * m, |i, out_row| {
             let a_row = &self.data[i * k..(i + 1) * k];
             for (j, o) in out_row.iter_mut().enumerate() {
@@ -252,9 +308,18 @@ impl Matrix {
 
     /// Elementwise sum of two equally-shaped matrices.
     pub fn add(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.add_into(other, &mut out);
+        out
+    }
+
+    /// [`add`](Self::add) into a caller-owned buffer (reshaped to fit).
+    pub fn add_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.shape(), other.shape(), "Matrix::add shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        out.reset_shape(self.rows, self.cols);
+        for ((o, a), b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = a + b;
+        }
     }
 
     /// Elementwise difference.
@@ -266,15 +331,33 @@ impl Matrix {
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.mul_into(other, &mut out);
+        out
+    }
+
+    /// [`mul`](Self::mul) into a caller-owned buffer (reshaped to fit).
+    pub fn mul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.shape(), other.shape(), "Matrix::mul shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        out.reset_shape(self.rows, self.cols);
+        for ((o, a), b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = a * b;
+        }
     }
 
     /// Multiplies every element by a scalar.
     pub fn scale(&self, s: f32) -> Matrix {
-        let data = self.data.iter().map(|a| a * s).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let mut out = Matrix::zeros(0, 0);
+        self.scale_into(s, &mut out);
+        out
+    }
+
+    /// [`scale`](Self::scale) into a caller-owned buffer (reshaped to fit).
+    pub fn scale_into(&self, s: f32, out: &mut Matrix) {
+        out.reset_shape(self.rows, self.cols);
+        for (o, a) in out.data.iter_mut().zip(&self.data) {
+            *o = a * s;
+        }
     }
 
     /// In-place `self += other * s` (axpy); the workhorse of gradient
@@ -301,23 +384,40 @@ impl Matrix {
 
     /// Adds a `1 x cols` row vector to every row.
     pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.add_row_broadcast_into(row, &mut out);
+        out
+    }
+
+    /// [`add_row_broadcast`](Self::add_row_broadcast) into a caller-owned
+    /// buffer (reshaped to fit).
+    pub fn add_row_broadcast_into(&self, row: &Matrix, out: &mut Matrix) {
         assert_eq!(row.rows, 1, "Matrix::add_row_broadcast: rhs must be a row vector");
         assert_eq!(row.cols, self.cols, "Matrix::add_row_broadcast shape mismatch");
-        let mut out = self.clone();
+        out.reset_shape(self.rows, self.cols);
+        out.data.copy_from_slice(&self.data);
         let cols = self.cols;
         parallel::parallel_for_rows(&mut out.data, cols, cols, |_i, r| {
             for (o, &b) in r.iter_mut().zip(&row.data) {
                 *o += b;
             }
         });
-        out
     }
 
     /// Scales each row `i` by the scalar in `col[i]` (an `n x 1` column).
     pub fn mul_col_broadcast(&self, col: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.mul_col_broadcast_into(col, &mut out);
+        out
+    }
+
+    /// [`mul_col_broadcast`](Self::mul_col_broadcast) into a caller-owned
+    /// buffer (reshaped to fit).
+    pub fn mul_col_broadcast_into(&self, col: &Matrix, out: &mut Matrix) {
         assert_eq!(col.cols, 1, "Matrix::mul_col_broadcast: rhs must be a column vector");
         assert_eq!(col.rows, self.rows, "Matrix::mul_col_broadcast shape mismatch");
-        let mut out = self.clone();
+        out.reset_shape(self.rows, self.cols);
+        out.data.copy_from_slice(&self.data);
         let cols = self.cols;
         parallel::parallel_for_rows(&mut out.data, cols, cols, |i, r| {
             let s = col.data[i];
@@ -325,7 +425,6 @@ impl Matrix {
                 *v *= s;
             }
         });
-        out
     }
 
     /// Sum of all elements.
@@ -371,7 +470,16 @@ impl Matrix {
     ///
     /// Uses the max-subtraction trick for numerical stability.
     pub fn softmax_rows(&self) -> Matrix {
-        let mut out = self.clone();
+        let mut out = Matrix::zeros(0, 0);
+        self.softmax_rows_into(&mut out);
+        out
+    }
+
+    /// [`softmax_rows`](Self::softmax_rows) into a caller-owned buffer
+    /// (reshaped to fit).
+    pub fn softmax_rows_into(&self, out: &mut Matrix) {
+        out.reset_shape(self.rows, self.cols);
+        out.data.copy_from_slice(&self.data);
         let cols = self.cols;
         // ~4 flops per element plus an exp; 16 is a conservative estimate.
         parallel::parallel_for_rows(&mut out.data, cols, 16 * cols, |_i, row| {
@@ -386,13 +494,19 @@ impl Matrix {
                 *v *= inv;
             }
         });
-        out
     }
 
     /// Elementwise map. `f` must be `Sync`: rows of large matrices are
     /// mapped on scoped worker threads (`relu`/`tanh` over big batches).
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
-        let mut out = Matrix::zeros(self.rows, self.cols);
+        let mut out = Matrix::zeros(0, 0);
+        self.map_into(f, &mut out);
+        out
+    }
+
+    /// [`map`](Self::map) into a caller-owned buffer (reshaped to fit).
+    pub fn map_into(&self, f: impl Fn(f32) -> f32 + Sync, out: &mut Matrix) {
+        out.reset_shape(self.rows, self.cols);
         let cols = self.cols;
         // Assume a transcendental-ish op per element.
         parallel::parallel_for_rows(&mut out.data, cols, 8 * cols, |i, row| {
@@ -401,18 +515,25 @@ impl Matrix {
                 *o = f(v);
             }
         });
-        out
     }
 
     /// Horizontal concatenation of matrices with equal row counts.
     pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        Matrix::concat_cols_into(parts, &mut out);
+        out
+    }
+
+    /// [`concat_cols`](Self::concat_cols) into a caller-owned buffer
+    /// (reshaped to fit).
+    pub fn concat_cols_into(parts: &[&Matrix], out: &mut Matrix) {
         assert!(!parts.is_empty(), "Matrix::concat_cols: empty input");
         let rows = parts[0].rows;
         for p in parts {
             assert_eq!(p.rows, rows, "Matrix::concat_cols: row count mismatch");
         }
         let cols: usize = parts.iter().map(|p| p.cols).sum();
-        let mut out = Matrix::zeros(rows, cols);
+        out.reset_shape(rows, cols);
         for i in 0..rows {
             let dst = &mut out.data[i * cols..(i + 1) * cols];
             let mut offset = 0;
@@ -421,7 +542,6 @@ impl Matrix {
                 offset += p.cols;
             }
         }
-        out
     }
 
     /// Vertical concatenation of matrices with equal column counts.
@@ -439,12 +559,29 @@ impl Matrix {
 
     /// Copies a contiguous column block `[start, start + width)`.
     pub fn slice_cols(&self, start: usize, width: usize) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.slice_cols_into(start, width, &mut out);
+        out
+    }
+
+    /// [`slice_cols`](Self::slice_cols) into a caller-owned buffer (reshaped
+    /// to fit).
+    pub fn slice_cols_into(&self, start: usize, width: usize, out: &mut Matrix) {
         assert!(start + width <= self.cols, "Matrix::slice_cols out of bounds");
-        let mut out = Matrix::zeros(self.rows, width);
+        out.reset_shape(self.rows, width);
         for i in 0..self.rows {
             out.row_mut(i).copy_from_slice(&self.row(i)[start..start + width]);
         }
-        out
+    }
+
+    /// Copies rows `[start, start + count)` of `src` into `self` (reshaped
+    /// to fit) — the allocation-free counterpart of
+    /// [`slice_rows`](Self::slice_rows) the inference plan uses to stage
+    /// each chunk of a batch.
+    pub fn assign_rows_from(&mut self, src: &Matrix, start: usize, count: usize) {
+        assert!(start + count <= src.rows, "Matrix::assign_rows_from out of bounds");
+        self.reset_shape(count, src.cols);
+        self.data.copy_from_slice(&src.data[start * src.cols..(start + count) * src.cols]);
     }
 
     /// Copies a contiguous row block `[start, start + count)`; cheap
