@@ -368,8 +368,9 @@ fn cmd_summary(args: &[String]) -> ExitCode {
 /// Gates a `perfjson` BENCH JSON on the encoding-cache contract and the
 /// compiled-plan contract: a cache regression (cold-path timings on the warm
 /// rows, a broken hit path, an empty cache), a missing/slower-than-tape
-/// `predict_plan` row, or a GEMM row with no achieved GFLOP/s fails CI even
-/// when the absolute timings still "look fast" on a beefy runner.
+/// `predict_plan` row, a missing `serve_latency` row (the daemon round-trip
+/// stopped being measured), or a GEMM row with no achieved GFLOP/s fails CI
+/// even when the absolute timings still "look fast" on a beefy runner.
 fn cmd_validate_bench(args: &[String]) -> ExitCode {
     let [path] = args else { return usage() };
     let doc = match std::fs::read_to_string(path)
@@ -411,7 +412,7 @@ fn cmd_validate_bench(args: &[String]) -> ExitCode {
         }
         None => failures.push("missing rows array".into()),
     }
-    for kernel in ["encode_pairs_cold", "encode_pairs", "encode_pairs_cached"] {
+    for kernel in ["encode_pairs_cold", "encode_pairs", "encode_pairs_cached", "serve_latency"] {
         if !best.contains_key(kernel) {
             failures.push(format!("missing {kernel} row"));
         }
@@ -472,12 +473,13 @@ fn cmd_validate_bench(args: &[String]) -> ExitCode {
         let show = |k: &str| best.get(k).copied().unwrap_or(f64::NAN);
         println!(
             "{path}: bench contract ok (cold {:.3} ms, warm {:.3} ms, cached {:.3} ms, \
-             plan {:.3} ms vs tape {:.3} ms, matmul {:.2} GFLOP/s)",
+             plan {:.3} ms vs tape {:.3} ms, serve {:.3} ms, matmul {:.2} GFLOP/s)",
             show("encode_pairs_cold"),
             show("encode_pairs"),
             show("encode_pairs_cached"),
             show("predict_plan"),
             show("predict_tape"),
+            show("serve_latency"),
             best_gflops.get("matmul").copied().unwrap_or(f64::NAN),
         );
         ExitCode::SUCCESS

@@ -7,7 +7,9 @@
 //! ways — `encode_pairs_cold` (record-level cache dropped before every
 //! run), `encode_pairs` (the headline warm row), and `encode_pairs_cached`
 //! (explicit warm phase whose hit/miss deltas feed the `"cache"` section:
-//! hit-rate, distinct-record count, interned-token count).
+//! hit-rate, distinct-record count, interned-token count). A `serve_latency`
+//! row measures one `POST /link` round-trip through an in-process
+//! `adamel-serve` daemon over a loopback socket.
 //!
 //! Thread counts are forced with [`parallel::with_threads`], which also
 //! bypasses the serial-fallback FLOP threshold, so every row measures the
@@ -219,7 +221,7 @@ fn main() {
 
     // --- pair encoding and end-to-end prediction at paper dims ---
     let (schema, pairs) = synth_pairs(num_pairs);
-    let model = AdamelModel::new(AdamelConfig::paper(), schema);
+    let model = AdamelModel::new(AdamelConfig::paper(), schema.clone());
     let extractor = model.extractor().clone();
     // Cold: the record-level cache is dropped before every run, so each
     // measurement pays full tokenize/hash/embed for every distinct record.
@@ -351,6 +353,58 @@ fn main() {
         flops: 0,
     });
     adamel_obs::set_forced(Some(adamel_obs::TraceLevel::Off));
+
+    // --- served link latency: one `POST /link` round-trip over a real
+    // socket through the `adamel-serve` daemon — HTTP parse, LiveIndex
+    // blocking, CompiledPlan scoring, JSONL response. Measured at a fixed
+    // batch size on a loopback connection per rep, so the row tracks the
+    // daemon's end-to-end overhead on top of the `predict` rows above. ---
+    let serve_batch = if smoke { 4 } else { 16 };
+    let serve_corpus = if smoke { 64 } else { 512 };
+    let serve_ms = {
+        use adamel_serve::{Engine, EngineConfig, RecordLine, Server, ServerConfig};
+        use std::io::{Read as _, Write as _};
+        let serve_model = AdamelModel::new(AdamelConfig::paper(), schema.clone());
+        // The synthetic schema has no "name" attribute; block on attr00 so
+        // candidates actually exist.
+        let cfg = LinkerConfig { block_attrs: vec!["attr00".into()], ..LinkerConfig::default() };
+        let engine = std::sync::Arc::new(Engine::new(
+            Linker::new(serve_model, cfg),
+            EngineConfig::default(),
+        ));
+        engine.upsert(pairs[..serve_corpus].iter().map(|p| p.right.clone()).collect());
+        let server = Server::start(engine, ServerConfig::default())
+            .unwrap_or_else(|e| panic!("serve bench: bind: {e}"));
+        let addr = server.addr();
+        let body: String = pairs[..serve_batch]
+            .iter()
+            .map(|p| {
+                let line = RecordLine {
+                    source: p.left.source.0,
+                    entity_id: p.left.entity_id,
+                    values: p.left.values.clone(),
+                };
+                line.to_json() + "\n"
+            })
+            .collect();
+        let ms = time_ms(if smoke { 2 } else { 5 }, || {
+            let mut s = std::net::TcpStream::connect(addr)
+                .unwrap_or_else(|e| panic!("serve bench: connect: {e}"));
+            write!(
+                s,
+                "POST /link HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .unwrap_or_else(|e| panic!("serve bench: send: {e}"));
+            let mut response = String::new();
+            s.read_to_string(&mut response).unwrap_or_else(|e| panic!("serve bench: recv: {e}"));
+            assert!(response.starts_with("HTTP/1.1 200"), "serve bench: {response}");
+            std::hint::black_box(response.len());
+        });
+        server.shutdown().unwrap_or_else(|e| panic!("serve bench: shutdown: {e}"));
+        ms
+    };
+    rows.push(Row { kernel: "serve_latency", n: serve_batch, threads: 1, ms: serve_ms, flops: 0 });
 
     // --- optional instrumented exercise pass (--obs) ---
     let obs_json = if obs_mode {

@@ -5,7 +5,7 @@
 //! slice/array/map indexing (`x[i]`), and at integer `/`/`%` whose divisor
 //! is a local the crude per-function type inference can establish as an
 //! integer. Facts propagate backward through the approximate call graph;
-//! each seed site that some bare-`pub` function of the eight library crates
+//! each seed site that some bare-`pub` function of the nine library crates
 //! can reach is reported once, with a shortest witness path.
 //!
 //! Soundness caveats (DESIGN.md §14): asserts are treated as intended
@@ -22,11 +22,11 @@ use crate::parse::INT_TYPES;
 use crate::symbols::Workspace;
 use std::collections::BTreeSet;
 
-/// The eight model/library crates the pass guards (directory names under
+/// The nine model/library crates the pass guards (directory names under
 /// `crates/`). The analysis tooling itself (`check`, `oracle`, `bench`) is
 /// not serving-path code and indexes its own token buffers freely.
 pub const LIBRARY_CRATES: &[&str] =
-    &["baselines", "core", "data", "metrics", "obs", "schema", "tensor", "text"];
+    &["baselines", "core", "data", "metrics", "obs", "schema", "serve", "tensor", "text"];
 
 /// Macros that unconditionally panic when reached.
 const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];

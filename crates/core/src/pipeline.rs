@@ -63,6 +63,13 @@ impl Linker {
         &self.model
     }
 
+    /// The linking configuration, for callers that replicate the blocking
+    /// stage externally (incremental indexes must probe with the same
+    /// `block_attrs` and candidate cap to stay equivalent).
+    pub fn config(&self) -> &LinkerConfig {
+        &self.cfg
+    }
+
     /// Links two record collections: blocks, scores every candidate pair in
     /// one batch, applies the threshold (and one-to-one reduction if
     /// configured). Results are sorted by descending score.
@@ -81,15 +88,38 @@ impl Linker {
             self.cfg.max_candidates_per_record * 64,
             |li| index.candidates_for(&left[li], &block_attrs, self.cfg.max_candidates_per_record),
         );
+        drop(blocking);
+        self.score_candidates(left, right, &per_left)
+    }
+
+    /// Scores a pre-blocked candidate set: `candidates[li]` lists the
+    /// `right` indices paired with `left[li]`. This is the second half of
+    /// [`link`](Self::link) — pair construction in `(li, ri)` order, one
+    /// batched `predict`, thresholding, the stable descending sort, and the
+    /// optional one-to-one reduction — exposed so callers that maintain
+    /// their own incremental blocking index (`adamel-serve`'s `LiveIndex`)
+    /// produce **bit-identical** results to the offline pipeline on the
+    /// same candidates.
+    ///
+    /// Out-of-range candidate indices are skipped (an incremental index can
+    /// momentarily disagree with the snapshot it was probed against);
+    /// `candidates` entries beyond `left.len()` are ignored.
+    pub fn score_candidates(
+        &self,
+        left: &[Record],
+        right: &[Record],
+        candidates: &[Vec<usize>],
+    ) -> Vec<MatchResult> {
         let mut pairs = Vec::new();
         let mut pair_ids = Vec::new();
-        for (li, candidates) in per_left.iter().enumerate() {
-            for &ri in candidates {
-                pairs.push(EntityPair::unlabeled(left[li].clone(), right[ri].clone()));
-                pair_ids.push((li, ri));
+        for (li, (lrec, cands)) in left.iter().zip(candidates.iter()).enumerate() {
+            for &ri in cands {
+                if let Some(rrec) = right.get(ri) {
+                    pairs.push(EntityPair::unlabeled(lrec.clone(), rrec.clone()));
+                    pair_ids.push((li, ri));
+                }
             }
         }
-        drop(blocking);
         adamel_obs::trace_count!("link.candidates", pairs.len() as u64);
         if pairs.is_empty() {
             adamel_obs::runlog::event("link")
@@ -193,6 +223,36 @@ mod tests {
         let linker = trained_linker(false);
         assert!(linker.link(&[], &[]).is_empty());
         assert!(linker.link(&[rec(0, 1, "x")], &[]).is_empty());
+    }
+
+    #[test]
+    fn score_candidates_is_bit_identical_to_link() {
+        let linker = trained_linker(false);
+        let left = vec![rec(0, 1, "alpha beta"), rec(0, 2, "gamma delta")];
+        let right =
+            vec![rec(1, 3, "alpha beta"), rec(1, 4, "gamma delta"), rec(1, 5, "alpha gamma")];
+        let attrs: Vec<&str> = linker.cfg.block_attrs.iter().map(String::as_str).collect();
+        let index = BlockingIndex::new(&right, &attrs);
+        let per_left: Vec<Vec<usize>> = left
+            .iter()
+            .map(|l| index.candidates_for(l, &attrs, linker.cfg.max_candidates_per_record))
+            .collect();
+        let via_candidates = linker.score_candidates(&left, &right, &per_left);
+        let via_link = linker.link(&left, &right);
+        assert_eq!(via_candidates.len(), via_link.len());
+        for (a, b) in via_candidates.iter().zip(via_link.iter()) {
+            assert_eq!((a.left, a.right), (b.left, b.right));
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "scores must match bitwise");
+        }
+    }
+
+    #[test]
+    fn score_candidates_skips_out_of_range_indices() {
+        let linker = trained_linker(false);
+        let left = vec![rec(0, 1, "alpha beta")];
+        let right = vec![rec(1, 3, "alpha beta")];
+        let matches = linker.score_candidates(&left, &right, &[vec![0, 7]]);
+        assert!(matches.iter().all(|m| m.right < right.len()));
     }
 
     #[test]

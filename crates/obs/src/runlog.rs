@@ -51,6 +51,7 @@
 //! runlog::set_forced_path(None);
 //! ```
 
+use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -72,6 +73,12 @@ static ENABLED_CACHE: AtomicU8 = AtomicU8::new(0);
 
 /// Strictly increasing per-process line counter.
 static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Per-kind counts of emitted (non-inert) ledger events. Long-running
+/// services surface these through their metrics endpoint so an operator can
+/// see how many `link`/`drift`/`warn` lines the ledger accumulated without
+/// tailing the file.
+static COUNTS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
 
 /// The open sink, if any. `Option` so a failed open (or a disable) can
 /// park the writer without poisoning future runs.
@@ -232,15 +239,34 @@ pub fn flush() {
 /// ```
 pub fn event(kind: &str) -> EventBuilder {
     if !enabled() {
-        return EventBuilder { buf: None };
+        return EventBuilder { buf: None, kind: String::new() };
     }
+    let kind_owned = kind.to_string();
     let mut buf = String::with_capacity(160);
     buf.push_str("{\"schema\": \"");
     buf.push_str(SCHEMA);
     buf.push_str("\", \"event\": \"");
     buf.push_str(&json::escape(kind));
     buf.push('"');
-    EventBuilder { buf: Some(buf) }
+    EventBuilder { buf: Some(buf), kind: kind_owned }
+}
+
+/// Per-kind counts of ledger events emitted so far in this process, in
+/// kind order. Inert emits (ledger disabled) are not counted. Counts keep
+/// accumulating across [`set_forced_path`] switches, like [`SEQ`].
+///
+/// # Examples
+///
+/// ```
+/// use adamel_obs::runlog;
+///
+/// runlog::set_forced_path(Some("")); // disabled: inert emits are not counted
+/// runlog::event("doctest_only_kind").num("loss", 0.5).emit();
+/// assert!(runlog::event_counts().iter().all(|(k, _)| k != "doctest_only_kind"));
+/// runlog::set_forced_path(None);
+/// ```
+pub fn event_counts() -> Vec<(String, u64)> {
+    lock(&COUNTS).iter().map(|(k, v)| (k.clone(), *v)).collect()
 }
 
 /// Builder for one ledger line. Field methods append `"key": value`
@@ -251,6 +277,7 @@ pub fn event(kind: &str) -> EventBuilder {
 #[must_use = "an un-emitted event is silently dropped"]
 pub struct EventBuilder {
     buf: Option<String>,
+    kind: String,
 }
 
 impl EventBuilder {
@@ -341,6 +368,7 @@ impl EventBuilder {
             buf.push_str(&seq.to_string());
             buf.push('}');
             write_line(&buf);
+            *lock(&COUNTS).entry(self.kind).or_insert(0) += 1;
         }
     }
 }
@@ -430,6 +458,30 @@ mod tests {
         assert!(tb.contains("0.6") && !tb.contains("0.5"));
         let _ = std::fs::remove_file(&a);
         let _ = std::fs::remove_file(&b);
+        set_forced_path(None);
+    }
+
+    #[test]
+    fn event_counts_track_emitted_kinds_only() {
+        let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let path = tmp_path("counts");
+        set_forced_path(Some(&path));
+        let before = event_counts()
+            .into_iter()
+            .find(|(k, _)| k == "counts_probe")
+            .map(|(_, n)| n)
+            .unwrap_or(0);
+        event("counts_probe").int("x", 1).emit();
+        event("counts_probe").int("x", 2).emit();
+        set_forced_path(Some(""));
+        event("counts_probe").int("x", 3).emit(); // inert: must not count
+        let after = event_counts()
+            .into_iter()
+            .find(|(k, _)| k == "counts_probe")
+            .map(|(_, n)| n)
+            .unwrap_or(0);
+        assert_eq!(after - before, 2);
+        let _ = std::fs::remove_file(&path);
         set_forced_path(None);
     }
 

@@ -13,11 +13,13 @@
 pub mod blocking;
 pub mod encode_cache;
 pub mod features;
+pub mod live_index;
 pub mod pair;
 pub mod record;
 
 pub use blocking::BlockingIndex;
 pub use encode_cache::EncodeCacheStats;
 pub use features::{FeatureExtractor, FeatureMode};
+pub use live_index::{LiveIndex, RecordKey};
 pub use pair::{Domain, EntityPair};
 pub use record::{Record, Schema, SourceId};

@@ -1,0 +1,165 @@
+//! A bounded MPMC queue with explicit rejection — the backpressure
+//! primitive between the accept thread and the worker pool.
+//!
+//! Producers never block: [`BoundedQueue::try_push`] fails fast with
+//! [`PushError::Full`] so the caller can answer `429` instead of letting
+//! an unbounded backlog absorb load invisibly. Consumers block in
+//! [`BoundedQueue::pop`] until an item or shutdown arrives.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Why a push was refused; the rejected item is handed back.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity.
+    Full(T),
+    /// [`BoundedQueue::close`] was called; no more items are accepted.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity multi-producer/multi-consumer queue.
+///
+/// # Examples
+///
+/// ```
+/// use adamel_serve::queue::{BoundedQueue, PushError};
+///
+/// let q = BoundedQueue::new(1);
+/// assert!(q.try_push(1u32).is_ok());
+/// // At capacity: the producer gets the item back instead of blocking.
+/// assert!(matches!(q.try_push(2), Err(PushError::Full(2))));
+/// assert_eq!(q.pop(), Some(1));
+/// q.close();
+/// assert!(matches!(q.try_push(3), Err(PushError::Closed(3))));
+/// assert_eq!(q.pop(), None); // closed and drained
+/// ```
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (floored at 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            state: Mutex::new(State { items: VecDeque::with_capacity(capacity), closed: false }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (racy by nature; for metrics only).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True when no items are queued (racy by nature; for metrics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item`, or returns it inside a [`PushError`] when the
+    /// queue is full or closed. Never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.lock();
+        if st.closed {
+            return Err(PushError::Closed(item));
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and returns it, or returns `None`
+    /// once the queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = match self.ready.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Closes the queue: producers are refused from now on, consumers
+    /// drain the remaining items and then observe `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamel_tensor::parallel;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = BoundedQueue::new(3);
+        for i in 0..3 {
+            q.try_push(i).map_err(|_| "push").expect("capacity not reached");
+        }
+        assert!(matches!(q.try_push(9), Err(PushError::Full(9))));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(9).map_err(|_| "push").expect("slot freed");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(9));
+    }
+
+    #[test]
+    fn zero_capacity_is_floored_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.try_push(1).is_ok());
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        use std::sync::Arc;
+        let q = Arc::new(BoundedQueue::<u32>::new(2));
+        let q2 = Arc::clone(&q);
+        let h = parallel::spawn_service("queue-test-consumer", move || {
+            // Blocks until close, then observes the drained-and-closed state.
+            while q2.pop().is_some() {}
+        })
+        .expect("spawn");
+        q.try_push(7).map_err(|_| "push").expect("open queue accepts");
+        q.close();
+        h.join().expect("consumer exits after close");
+        assert!(matches!(q.try_push(8), Err(PushError::Closed(8))));
+    }
+}

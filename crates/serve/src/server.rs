@@ -1,0 +1,262 @@
+//! The network front: accept loop, bounded worker pool, routing.
+//!
+//! One accept thread pushes connections onto a [`BoundedQueue`]; `workers`
+//! threads pop and handle one request per connection. A full queue is
+//! answered `429 Too Many Requests` on the accept thread immediately —
+//! load the daemon cannot absorb is visible to the caller, never silently
+//! buffered. All threads come from
+//! [`adamel_tensor::parallel::spawn_service`].
+
+use crate::api::{self, DeleteLine, RecordLine};
+use crate::engine::Engine;
+use crate::http::{self, HttpError, Request};
+use crate::queue::{BoundedQueue, PushError};
+use adamel_schema::SourceId;
+use adamel_tensor::parallel::{self, ServiceHandle};
+use std::io::{BufReader, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server construction options (see OPERATIONS.md for the env-var table).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Connections the queue buffers before the accept thread answers
+    /// `429`.
+    pub queue_capacity: usize,
+    /// Maximum request-body size in bytes (larger bodies get `413`).
+    pub max_body_bytes: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
+            queue_capacity: 64,
+            max_body_bytes: 64 << 20,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Defaults overridden by `ADAMEL_SERVE_ADDR`, `ADAMEL_SERVE_WORKERS`,
+    /// and `ADAMEL_SERVE_QUEUE`. Unparsable values fall back silently to
+    /// the defaults (a daemon should boot, not die on a typo).
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(addr) = std::env::var("ADAMEL_SERVE_ADDR") {
+            if !addr.trim().is_empty() {
+                cfg.addr = addr.trim().to_string();
+            }
+        }
+        if let Some(n) = env_usize("ADAMEL_SERVE_WORKERS") {
+            cfg.workers = n;
+        }
+        if let Some(n) = env_usize("ADAMEL_SERVE_QUEUE") {
+            cfg.queue_capacity = n;
+        }
+        cfg
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok().filter(|n: &usize| *n > 0)
+}
+
+/// A running daemon: accept thread + worker pool around an [`Engine`].
+pub struct Server {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    queue: Arc<BoundedQueue<TcpStream>>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<ServiceHandle>,
+}
+
+impl Server {
+    /// Binds `cfg.addr` and starts the accept thread and `cfg.workers`
+    /// workers. Returns once the socket is listening — callers can connect
+    /// immediately.
+    pub fn start(engine: Arc<Engine>, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        for i in 0..cfg.workers.max(1) {
+            let queue = Arc::clone(&queue);
+            let engine = Arc::clone(&engine);
+            let (max_body, timeout) = (cfg.max_body_bytes, cfg.read_timeout);
+            threads.push(parallel::spawn_service(
+                &format!("adamel-serve-worker-{i}"),
+                move || {
+                    while let Some(stream) = queue.pop() {
+                        handle_connection(&engine, &queue, stream, max_body, timeout);
+                    }
+                },
+            )?);
+        }
+
+        {
+            let queue = Arc::clone(&queue);
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            threads.push(parallel::spawn_service("adamel-serve-accept", move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if let Err(PushError::Full(mut rejected) | PushError::Closed(mut rejected)) =
+                        queue.try_push(stream)
+                    {
+                        engine.note_rejected();
+                        let _ = http::write_response(
+                            &mut rejected,
+                            429,
+                            "Too Many Requests",
+                            &http::error_body("queue full"),
+                        );
+                    }
+                }
+            })?);
+        }
+
+        Ok(Server { addr, engine, queue, stop, threads })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Stops accepting, drains queued connections, and joins every thread.
+    pub fn shutdown(mut self) -> Result<(), String> {
+        self.stop.store(true, Ordering::Relaxed);
+        // The accept thread blocks in `incoming()`; a self-connection makes
+        // it observe the stop flag. The connection itself lands on the
+        // (now closed) queue or is dropped — either is fine.
+        let _ = TcpStream::connect(self.addr);
+        self.queue.close();
+        let mut errors = Vec::new();
+        for h in self.threads.drain(..) {
+            if let Err(e) = h.join() {
+                errors.push(e);
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors.join("; "))
+        }
+    }
+}
+
+fn handle_connection(
+    engine: &Engine,
+    queue: &BoundedQueue<TcpStream>,
+    mut stream: TcpStream,
+    max_body: usize,
+    timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(timeout));
+    let request = {
+        let Ok(reader) = stream.try_clone() else { return };
+        read_limited(reader, max_body)
+    };
+    let (status, reason, body) = match request {
+        Ok(req) => {
+            engine.note_request();
+            route(engine, queue, &req)
+        }
+        Err(HttpError::TooLarge { declared, limit }) => (
+            413,
+            "Payload Too Large",
+            http::error_body(&format!("body of {declared} bytes exceeds the {limit}-byte limit")),
+        ),
+        Err(HttpError::BadRequest(msg)) => (400, "Bad Request", http::error_body(&msg)),
+        Err(HttpError::Io(_)) => return, // client went away; nothing to answer
+    };
+    let _ = http::write_response(&mut stream, status, reason, &body);
+}
+
+fn read_limited(stream: impl Read, max_body: usize) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    http::read_request(&mut reader, max_body)
+}
+
+fn route(
+    engine: &Engine,
+    queue: &BoundedQueue<TcpStream>,
+    req: &Request,
+) -> (u16, &'static str, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, "OK", engine.health().to_json()),
+        ("GET", "/metrics") => (200, "OK", engine.metrics_json(queue.len(), queue.capacity())),
+        ("POST", "/records") => match api::parse_body(&req.body, RecordLine::from_json) {
+            Ok(lines) => {
+                let records = lines.into_iter().map(RecordLine::into_record).collect();
+                let (inserted, replaced) = engine.upsert(records);
+                (200, "OK", format!("{{\"inserted\": {inserted}, \"replaced\": {replaced}}}\n"))
+            }
+            Err(msg) => (400, "Bad Request", http::error_body(&msg)),
+        },
+        ("DELETE", "/records") => match api::parse_body(&req.body, DeleteLine::from_json) {
+            Ok(lines) => {
+                let keys: Vec<_> =
+                    lines.iter().map(|d| (SourceId(d.source), d.entity_id)).collect();
+                let removed = engine.delete(&keys);
+                (200, "OK", format!("{{\"removed\": {removed}}}\n"))
+            }
+            Err(msg) => (400, "Bad Request", http::error_body(&msg)),
+        },
+        ("POST", "/link") => match api::parse_body(&req.body, RecordLine::from_json) {
+            Ok(lines) => {
+                let queries: Vec<_> = lines.into_iter().map(RecordLine::into_record).collect();
+                let outcome = engine.link(&queries);
+                let mut body = String::new();
+                for m in &outcome.matches {
+                    body.push_str(&m.to_json());
+                    body.push('\n');
+                }
+                body.push_str(&format!(
+                    "{{\"summary\": {{\"queries\": {}, \"candidates\": {}, \"matches\": {}, \"corpus_records\": {}}}}}\n",
+                    queries.len(),
+                    outcome.candidates,
+                    outcome.matches.len(),
+                    outcome.corpus_records,
+                ));
+                (200, "OK", body)
+            }
+            Err(msg) => (400, "Bad Request", http::error_body(&msg)),
+        },
+        ("POST", "/model") => {
+            let mut reader = std::io::BufReader::new(req.body.as_slice());
+            match adamel::load_model(&mut reader) {
+                Ok(model) => match engine.swap_model(model) {
+                    Ok(version) => (200, "OK", format!("{{\"model_version\": {version}}}\n")),
+                    Err(msg) => (409, "Conflict", http::error_body(&msg)),
+                },
+                Err(e) => (400, "Bad Request", http::error_body(&format!("bad snapshot: {e}"))),
+            }
+        }
+        ("GET" | "POST" | "DELETE", "/healthz" | "/metrics" | "/records" | "/link" | "/model") => {
+            (405, "Method Not Allowed", http::error_body("method not allowed for this path"))
+        }
+        _ => (404, "Not Found", http::error_body("unknown path")),
+    }
+}

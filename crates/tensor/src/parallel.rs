@@ -206,6 +206,54 @@ pub fn parallel_for_row_blocks<F>(
     });
 }
 
+/// A handle to a long-running service thread spawned by [`spawn_service`].
+///
+/// Dropping the handle without calling [`join`](Self::join) detaches the
+/// thread (it keeps running until the process exits); daemons that want a
+/// clean shutdown signal the thread through their own channel and then
+/// `join`.
+#[derive(Debug)]
+pub struct ServiceHandle {
+    inner: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// Blocks until the service thread returns. A panicking service is
+    /// reported as `Err` with the thread's name rather than propagating the
+    /// panic into the caller.
+    pub fn join(mut self) -> Result<(), String> {
+        match self.inner.take() {
+            Some(h) => {
+                let name = h.thread().name().unwrap_or("adamel-service").to_string();
+                h.join().map_err(|_| format!("service thread `{name}` panicked"))
+            }
+            None => Ok(()),
+        }
+    }
+}
+
+/// Spawns a named long-running **service thread** — the only sanctioned way
+/// for workspace code to obtain a thread that outlives a single parallel
+/// dispatch (the `no-thread-spawn` lint confines `std::thread` to this
+/// module so every thread in the process is accounted for here).
+///
+/// Unlike the scoped dispatch workers above, a service thread is *not*
+/// marked as a worker: parallel dispatches it performs (e.g. batched
+/// inference inside a request handler) follow the normal dispatch policy,
+/// and a daemon that wants one-request-one-core discipline wraps its
+/// compute in [`with_threads`]`(1, ..)` instead. Service threads carry no
+/// determinism obligations of their own — determinism is a property of the
+/// dispatched kernels, which stay bit-identical on any thread.
+///
+/// Returns an error if the OS refuses to spawn the thread.
+pub fn spawn_service(
+    name: &str,
+    f: impl FnOnce() + Send + 'static,
+) -> std::io::Result<ServiceHandle> {
+    let handle = std::thread::Builder::new().name(name.to_string()).spawn(f)?;
+    Ok(ServiceHandle { inner: Some(handle) })
+}
+
 /// Produces `(0..n).map(f).collect()` with `f` evaluated across scoped
 /// worker threads when `n * cost_per_item` estimated FLOPs clear the
 /// dispatch policy. Output order is always index order.
@@ -348,6 +396,31 @@ mod tests {
             let expect: Vec<usize> = (0..11).map(|i| i * i).collect();
             assert_eq!(v, expect, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn service_threads_run_join_and_dispatch_normally() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        let h = spawn_service("adamel-test-service", move || {
+            // A service thread is not a dispatch worker: nested parallel
+            // sections follow the normal policy and stay bit-identical.
+            let v = with_threads(2, || parallel_map_collect(5, 1, |i| i * 2));
+            assert_eq!(v, vec![0, 2, 4, 6, 8]);
+            hits2.fetch_add(1, Ordering::SeqCst);
+        })
+        .expect("spawn");
+        h.join().expect("service completed");
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn service_panic_is_reported_not_propagated() {
+        let h = spawn_service("adamel-test-panic", || panic!("boom")).expect("spawn");
+        let err = h.join().expect_err("panic must surface as Err");
+        assert!(err.contains("adamel-test-panic"), "err was: {err}");
     }
 
     #[test]

@@ -2,8 +2,11 @@
 //! link two raw record collections with blocking — no pre-built pairs.
 //!
 //! ```text
-//! cargo run --release -p adamel --example save_and_link
+//! cargo run --release -p adamel --example save_and_link [snapshot-path]
 //! ```
+//!
+//! With a path argument the serialized snapshot is also written to disk,
+//! in the format `adamel-serve --model` loads (see OPERATIONS.md).
 
 use adamel::{
     fit, load_model, save_model, AdamelConfig, AdamelModel, Linker, LinkerConfig, Variant,
@@ -32,6 +35,10 @@ fn main() {
     let mut buf = Vec::new();
     save_model(&model, &mut buf).expect("serialize");
     println!("serialized model: {} bytes, {} parameters", buf.len(), model.num_parameters());
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, &buf).expect("write snapshot");
+        println!("snapshot written to {path} (servable via adamel-serve --model {path})");
+    }
     let restored = load_model(&mut BufReader::new(&buf[..])).expect("deserialize");
 
     // Link two raw collections: albums from website 4 against website 6.
