@@ -13,14 +13,21 @@
 //! * `summary PATH` — human-readable digest: manifest, final losses,
 //!   metrics, drift warnings, link stats, and span quantiles reconstructed
 //!   from the embedded `adamel-obs` report.
-//! * `diff A B [--threshold T]` — compare two ledgers. Metric deltas gate
-//!   (exit 1 when a metric regresses by more than `T`, default 0.02); drift
-//!   warning counts and span times are reported informationally.
-//! * `validate-bench PATH` — gate a `perfjson` BENCH JSON on the
-//!   encoding-cache contract: `encode_pairs_cold` / `encode_pairs` /
-//!   `encode_pairs_cached` rows present with finite timings, warm-phase
-//!   hit-rate ≥ 0.99, non-empty cache contents, and the cached path no
-//!   slower than cold.
+//! * `diff A B [--threshold T] [--mem-threshold M]` — compare two
+//!   ledgers. Metric deltas gate (exit 1 when a metric regresses by more
+//!   than `T`, default 0.02); memory-gauge peaks from the embedded obs
+//!   reports gate too (exit 1 when a gauge's peak grows by more than the
+//!   `M` fraction, default 0.25); drift warning counts and span times are
+//!   reported informationally.
+//! * `validate-bench PATH [--mem-baseline BASE] [--mem-threshold M]` —
+//!   gate a `perfjson` BENCH JSON on the encoding-cache contract:
+//!   `encode_pairs_cold` / `encode_pairs` / `encode_pairs_cached` rows
+//!   present with finite timings, warm-phase hit-rate ≥ 0.99, non-empty
+//!   cache contents, and the cached path no slower than cold. Every row
+//!   must carry a `peak_bytes` column and the document a `"mem"` summary;
+//!   with `--mem-baseline`, each kernel's peak bytes are compared against
+//!   the baseline BENCH JSON and a growth beyond the `M` fraction
+//!   (default 0.25) fails the gate.
 //!
 //! Exit codes: 0 ok, 1 gate failure (diff regression / bench contract
 //! violation), 2 usage / IO / parse error.
@@ -42,8 +49,8 @@ fn usage() -> ExitCode {
          \x20 adamel-report gen --out PATH [--seed N] [--epochs N] [--perturb]\n\
          \x20 adamel-report validate PATH\n\
          \x20 adamel-report summary PATH\n\
-         \x20 adamel-report diff A B [--threshold T]\n\
-         \x20 adamel-report validate-bench PATH"
+         \x20 adamel-report diff A B [--threshold T] [--mem-threshold M]\n\
+         \x20 adamel-report validate-bench PATH [--mem-baseline BASE] [--mem-threshold M]"
     );
     ExitCode::from(2)
 }
@@ -256,6 +263,27 @@ fn spans_of(events: &[Json]) -> BTreeMap<String, (u64, f64, Histogram)> {
     out
 }
 
+/// Memory-gauge peaks from the embedded `obs_report` event's `"mem"`
+/// section, keyed by gauge name.
+fn mems_of(events: &[Json]) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    let Some(report) =
+        events.iter().rev().find(|e| kind(e) == "obs_report").and_then(|e| e.get("report"))
+    else {
+        return out;
+    };
+    let Some(gauges) = report.get("mem").and_then(|m| m.get("gauges")).and_then(Json::as_object)
+    else {
+        return out;
+    };
+    for (name, gauge) in gauges {
+        if let Some(peak) = gauge.get("peak").and_then(Json::as_u64) {
+            out.insert(name.clone(), peak);
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------- validate ----
 
 fn cmd_validate(args: &[String]) -> ExitCode {
@@ -365,18 +393,74 @@ fn cmd_summary(args: &[String]) -> ExitCode {
 
 // ----------------------------------------------------- validate-bench ----
 
+/// Per-kernel worst-case (maximum) `peak_bytes` across thread counts, or
+/// an error when a row lacks the column — the memory side of the bench
+/// contract.
+fn peaks_of_bench(doc: &Json) -> Result<BTreeMap<String, u64>, Vec<String>> {
+    let mut peaks: BTreeMap<String, u64> = BTreeMap::new();
+    let mut errors = Vec::new();
+    let Some(rows) = doc.get("rows").and_then(Json::as_array) else {
+        return Err(vec!["missing rows array".into()]);
+    };
+    for r in rows {
+        let Some(kernel) = r.get("kernel").and_then(Json::as_str) else { continue };
+        match r.get("peak_bytes").and_then(Json::as_u64) {
+            Some(p) => {
+                let e = peaks.entry(kernel.to_string()).or_insert(0);
+                *e = (*e).max(p);
+            }
+            None => errors.push(format!("{kernel}: missing peak_bytes column")),
+        }
+    }
+    if errors.is_empty() {
+        Ok(peaks)
+    } else {
+        Err(errors)
+    }
+}
+
 /// Gates a `perfjson` BENCH JSON on the encoding-cache contract and the
 /// compiled-plan contract: a cache regression (cold-path timings on the warm
 /// rows, a broken hit path, an empty cache), a missing/slower-than-tape
 /// `predict_plan` row, a missing `serve_latency` row (the daemon round-trip
 /// stopped being measured), or a GEMM row with no achieved GFLOP/s fails CI
 /// even when the absolute timings still "look fast" on a beefy runner.
+/// With `--mem-baseline`, each kernel's `peak_bytes` is additionally gated
+/// against the baseline document: growth beyond the `--mem-threshold`
+/// fraction (default 0.25) is a memory regression and fails too.
 fn cmd_validate_bench(args: &[String]) -> ExitCode {
-    let [path] = args else { return usage() };
-    let doc = match std::fs::read_to_string(path)
-        .map_err(|e| format!("{path}: {e}"))
-        .and_then(|t| Json::parse(&t).map_err(|e| format!("{path}: {e}")))
-    {
+    let mut path: Option<&String> = None;
+    let mut mem_baseline: Option<&String> = None;
+    let mut mem_threshold = 0.25f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mem-baseline" => {
+                i += 1;
+                mem_baseline = args.get(i);
+                if mem_baseline.is_none() {
+                    return usage();
+                }
+            }
+            "--mem-threshold" => {
+                i += 1;
+                mem_threshold = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) => v,
+                    None => return usage(),
+                };
+            }
+            _ if path.is_none() => path = Some(&args[i]),
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let Some(path) = path else { return usage() };
+    let load = |p: &str| {
+        std::fs::read_to_string(p)
+            .map_err(|e| format!("{p}: {e}"))
+            .and_then(|t| Json::parse(&t).map_err(|e| format!("{p}: {e}")))
+    };
+    let doc = match load(path) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("adamel-report: {e}");
@@ -412,7 +496,13 @@ fn cmd_validate_bench(args: &[String]) -> ExitCode {
         }
         None => failures.push("missing rows array".into()),
     }
-    for kernel in ["encode_pairs_cold", "encode_pairs", "encode_pairs_cached", "serve_latency"] {
+    for kernel in [
+        "encode_pairs_cold",
+        "encode_pairs",
+        "encode_pairs_cached",
+        "encode_build_cold",
+        "serve_latency",
+    ] {
         if !best.contains_key(kernel) {
             failures.push(format!("missing {kernel} row"));
         }
@@ -469,6 +559,50 @@ fn cmd_validate_bench(args: &[String]) -> ExitCode {
         None => failures.push("missing cache section".into()),
     }
 
+    // Memory side of the contract: every row carries `peak_bytes` and the
+    // document a schema-tagged `"mem"` summary.
+    let peaks = match peaks_of_bench(&doc) {
+        Ok(p) => p,
+        Err(errs) => {
+            failures.extend(errs);
+            BTreeMap::new()
+        }
+    };
+    match doc.get("mem") {
+        Some(m) => {
+            if m.get("schema").and_then(Json::as_str) != Some("adamel-mem/v1") {
+                failures.push("mem section has wrong or missing schema".into());
+            }
+            if m.get("gauges").and_then(Json::as_object).is_none() {
+                failures.push("mem section has no gauges object".into());
+            }
+        }
+        None => failures.push("missing mem section".into()),
+    }
+    if let Some(base_path) = mem_baseline {
+        match load(base_path).map_err(|e| vec![e]).and_then(|d| peaks_of_bench(&d)) {
+            Ok(base_peaks) => {
+                for (kernel, &old) in &base_peaks {
+                    let Some(&new) = peaks.get(kernel) else { continue };
+                    // Zero baselines carry no signal (the kernel allocated
+                    // below gauge granularity); any nonzero growth past the
+                    // fractional threshold is a memory regression.
+                    if old > 0 && new as f64 > old as f64 * (1.0 + mem_threshold) {
+                        failures.push(format!(
+                            "{kernel}: peak_bytes {new} exceeds baseline {old} by more than {:.0}%",
+                            mem_threshold * 100.0
+                        ));
+                    }
+                }
+            }
+            Err(errs) => {
+                for e in errs {
+                    failures.push(format!("mem baseline {base_path}: {e}"));
+                }
+            }
+        }
+    }
+
     if failures.is_empty() {
         let show = |k: &str| best.get(k).copied().unwrap_or(f64::NAN);
         println!(
@@ -496,12 +630,20 @@ fn cmd_validate_bench(args: &[String]) -> ExitCode {
 fn cmd_diff(args: &[String]) -> ExitCode {
     let mut paths = Vec::new();
     let mut threshold = 0.02f64;
+    let mut mem_threshold = 0.25f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--threshold" => {
                 i += 1;
                 threshold = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) => v,
+                    None => return usage(),
+                };
+            }
+            "--mem-threshold" => {
+                i += 1;
+                mem_threshold = match args.get(i).and_then(|s| s.parse().ok()) {
                     Some(v) => v,
                     None => return usage(),
                 };
@@ -564,11 +706,40 @@ fn cmd_diff(args: &[String]) -> ExitCode {
         }
     }
 
-    if regressions > 0 {
-        println!("FAIL: {regressions} metric(s) regressed beyond {threshold}");
+    // Memory-gauge peaks are logical byte counts (deterministic per seed,
+    // unlike wall-clock spans), so they gate: a gauge whose peak grew past
+    // the fractional threshold is a memory regression.
+    let (mema, memb) = (mems_of(&a), mems_of(&b));
+    let mut mem_regressions = 0usize;
+    for (name, &pa) in &mema {
+        let Some(&pb) = memb.get(name) else {
+            println!("mem {name}: {pa} B -> (absent in {b_path})");
+            continue;
+        };
+        let regressed = pa > 0 && pb as f64 > pa as f64 * (1.0 + mem_threshold);
+        if regressed || pa != pb {
+            println!("mem {name}: {pa} -> {pb} B{}", if regressed { "  REGRESSION" } else { "" });
+        }
+        if regressed {
+            mem_regressions += 1;
+        }
+    }
+    for (name, &pb) in &memb {
+        if !mema.contains_key(name) {
+            println!("mem {name}: (absent in {a_path}) -> {pb} B");
+        }
+    }
+
+    if regressions > 0 || mem_regressions > 0 {
+        if regressions > 0 {
+            println!("FAIL: {regressions} metric(s) regressed beyond {threshold}");
+        }
+        if mem_regressions > 0 {
+            println!("FAIL: {mem_regressions} memory gauge(s) grew beyond {mem_threshold}");
+        }
         ExitCode::FAILURE
     } else {
-        println!("PASS: no metric regression beyond {threshold}");
+        println!("PASS: no metric regression beyond {threshold}, no memory growth beyond {mem_threshold}");
         ExitCode::SUCCESS
     }
 }

@@ -9,7 +9,15 @@
 //! (explicit warm phase whose hit/miss deltas feed the `"cache"` section:
 //! hit-rate, distinct-record count, interned-token count). A `serve_latency`
 //! row measures one `POST /link` round-trip through an in-process
-//! `adamel-serve` daemon over a loopback socket.
+//! `adamel-serve` daemon over a loopback socket, and `encode_build_cold`
+//! isolates the vocabulary-build phase (intern + embed) from scratch.
+//!
+//! Every row also carries a `peak_bytes` column: after the timed reps
+//! (tracing forced off), one untimed probe run at forced `spans` level
+//! resets the memory-ledger peaks, reruns the workload, and reads
+//! `mem::peak_total()`. A top-level `"mem"` section (`adamel-mem/v1`)
+//! summarizes the max row peak and the final per-gauge peaks;
+//! `adamel-report validate-bench --mem-baseline` gates on both.
 //!
 //! Thread counts are forced with [`parallel::with_threads`], which also
 //! bypasses the serial-fallback FLOP threshold, so every row measures the
@@ -52,6 +60,9 @@ struct Row {
     /// Arithmetic work per run; 0 for rows that are not compute kernels
     /// (encoding, overhead pairs). Nonzero rows get a `gflops` column.
     flops: u64,
+    /// Summed mem-gauge high-water mark of one untimed probe run (see
+    /// [`bench()`]); the `adamel-report` memory gate trends this column.
+    peak_bytes: u64,
 }
 
 /// Best-of-`reps` wall time in milliseconds, with one untimed warm-up.
@@ -64,6 +75,27 @@ fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
         best = best.min(t.elapsed().as_secs_f64() * 1e3);
     }
     best
+}
+
+/// One untimed probe run of `f` at `Spans` level, returning the summed
+/// mem-gauge high-water mark it produced. Peaks are windowed per probe
+/// ([`adamel_obs::mem::reset_peaks`]), and the forced level is restored
+/// to `Off` afterwards so timed reps never pay for the ledger.
+fn probe_peak_bytes(mut f: impl FnMut()) -> u64 {
+    adamel_obs::set_forced(Some(adamel_obs::TraceLevel::Spans));
+    adamel_obs::mem::reset_peaks();
+    f();
+    let peak = adamel_obs::mem::peak_total();
+    adamel_obs::set_forced(Some(adamel_obs::TraceLevel::Off));
+    peak
+}
+
+/// Times `f` (tracing off) and then probes its memory footprint (one
+/// extra run at `Spans`): the standard measurement for one bench row.
+fn bench(reps: usize, mut f: impl FnMut()) -> (f64, u64) {
+    let ms = time_ms(reps, &mut f);
+    let peak_bytes = probe_peak_bytes(f);
+    (ms, peak_bytes)
 }
 
 fn random_matrix(rows: usize, cols: usize, rng: &mut rand::rngs::StdRng) -> Matrix {
@@ -201,22 +233,43 @@ fn main() {
     // All three variants compute an (m x 300)·(300 x 256)-shaped product.
     let gemm_flops = 2 * matmul_m as u64 * 300 * 256;
     for &t in threads {
-        let ms = time_ms(3, || {
+        let (ms, peak_bytes) = bench(3, || {
             parallel::with_threads(t, || std::hint::black_box(a.matmul(&b)));
         });
-        rows.push(Row { kernel: "matmul", n: matmul_m, threads: t, ms, flops: gemm_flops });
+        rows.push(Row {
+            kernel: "matmul",
+            n: matmul_m,
+            threads: t,
+            ms,
+            flops: gemm_flops,
+            peak_bytes,
+        });
     }
     for &t in threads {
-        let ms = time_ms(3, || {
+        let (ms, peak_bytes) = bench(3, || {
             parallel::with_threads(t, || std::hint::black_box(a.matmul_tn(&a_tall)));
         });
-        rows.push(Row { kernel: "matmul_tn", n: matmul_m, threads: t, ms, flops: gemm_flops });
+        rows.push(Row {
+            kernel: "matmul_tn",
+            n: matmul_m,
+            threads: t,
+            ms,
+            flops: gemm_flops,
+            peak_bytes,
+        });
     }
     for &t in threads {
-        let ms = time_ms(3, || {
+        let (ms, peak_bytes) = bench(3, || {
             parallel::with_threads(t, || std::hint::black_box(a.matmul_nt(&b_t)));
         });
-        rows.push(Row { kernel: "matmul_nt", n: matmul_m, threads: t, ms, flops: gemm_flops });
+        rows.push(Row {
+            kernel: "matmul_nt",
+            n: matmul_m,
+            threads: t,
+            ms,
+            flops: gemm_flops,
+            peak_bytes,
+        });
     }
 
     // --- pair encoding and end-to-end prediction at paper dims ---
@@ -226,11 +279,43 @@ fn main() {
     // Cold: the record-level cache is dropped before every run, so each
     // measurement pays full tokenize/hash/embed for every distinct record.
     for &t in threads {
-        let ms = time_ms(1, || {
+        let (ms, peak_bytes) = bench(1, || {
             extractor.clear_cache();
             parallel::with_threads(t, || std::hint::black_box(extractor.encode_pairs(&pairs)));
         });
-        rows.push(Row { kernel: "encode_pairs_cold", n: num_pairs, threads: t, ms, flops: 0 });
+        rows.push(Row {
+            kernel: "encode_pairs_cold",
+            n: num_pairs,
+            threads: t,
+            ms,
+            flops: 0,
+            peak_bytes,
+        });
+    }
+    // Cold vocabulary build in isolation: intern a batch of distinct
+    // tokens into a fresh `TokenVocab` and compute every embedding row.
+    // This is the `encode.embed_hash` hot spot (n-gram hashing per
+    // first-seen token) without the rest of the encode pipeline, so cold
+    // builds can be trended independently of cache behaviour.
+    let build_tokens: Vec<String> =
+        (0..if smoke { 500 } else { 5000 }).map(|i| format!("token{i:05}")).collect();
+    for &t in threads {
+        let (ms, peak_bytes) = bench(1, || {
+            let mut vocab = adamel_text::TokenVocab::new(adamel_text::HashedFastText::new(300, 7));
+            for tok in &build_tokens {
+                vocab.intern_deferred(tok);
+            }
+            parallel::with_threads(t, || vocab.compute_pending());
+            std::hint::black_box(vocab.len());
+        });
+        rows.push(Row {
+            kernel: "encode_build_cold",
+            n: build_tokens.len(),
+            threads: t,
+            ms,
+            flops: 0,
+            peak_bytes,
+        });
     }
     // Warm the cache once, then measure the pure cached path. The headline
     // `encode_pairs` row also measures warm (time_ms warms up before
@@ -238,19 +323,33 @@ fn main() {
     extractor.clear_cache();
     std::hint::black_box(extractor.encode_pairs(&pairs));
     for &t in threads {
-        let ms = time_ms(1, || {
+        let (ms, peak_bytes) = bench(1, || {
             parallel::with_threads(t, || std::hint::black_box(extractor.encode_pairs(&pairs)));
         });
-        rows.push(Row { kernel: "encode_pairs", n: num_pairs, threads: t, ms, flops: 0 });
+        rows.push(Row {
+            kernel: "encode_pairs",
+            n: num_pairs,
+            threads: t,
+            ms,
+            flops: 0,
+            peak_bytes,
+        });
     }
     // Stats deltas around the cached phase give the report's hit-rate: with
     // a working cache every record reference here is a hit (rate 1.0).
     let cache_before = extractor.cache_stats();
     for &t in threads {
-        let ms = time_ms(1, || {
+        let (ms, peak_bytes) = bench(1, || {
             parallel::with_threads(t, || std::hint::black_box(extractor.encode_pairs(&pairs)));
         });
-        rows.push(Row { kernel: "encode_pairs_cached", n: num_pairs, threads: t, ms, flops: 0 });
+        rows.push(Row {
+            kernel: "encode_pairs_cached",
+            n: num_pairs,
+            threads: t,
+            ms,
+            flops: 0,
+            peak_bytes,
+        });
     }
     let cache_after = extractor.cache_stats();
     let warm_hits = cache_after.hits - cache_before.hits;
@@ -263,10 +362,17 @@ fn main() {
     let encoded = extractor.encode_pairs(&pairs);
     let predict_flops = num_pairs as u64 * model.per_row_flops() as u64;
     for &t in threads {
-        let ms = time_ms(1, || {
+        let (ms, peak_bytes) = bench(1, || {
             parallel::with_threads(t, || std::hint::black_box(model.predict_encoded(&encoded)));
         });
-        rows.push(Row { kernel: "predict", n: num_pairs, threads: t, ms, flops: predict_flops });
+        rows.push(Row {
+            kernel: "predict",
+            n: num_pairs,
+            threads: t,
+            ms,
+            flops: predict_flops,
+            peak_bytes,
+        });
     }
 
     // --- compiled-plan vs tape inference pair: `predict` above routes
@@ -274,7 +380,7 @@ fn main() {
     // its explicit name and `predict_tape` measures the historical
     // graph-per-chunk path. The bench gate requires plan <= tape * 1.10. ---
     for &t in threads {
-        let ms = time_ms(1, || {
+        let (ms, peak_bytes) = bench(1, || {
             parallel::with_threads(t, || std::hint::black_box(model.predict_encoded(&encoded)));
         });
         rows.push(Row {
@@ -283,10 +389,11 @@ fn main() {
             threads: t,
             ms,
             flops: predict_flops,
+            peak_bytes,
         });
     }
     for &t in threads {
-        let ms = time_ms(1, || {
+        let (ms, peak_bytes) = bench(1, || {
             parallel::with_threads(t, || {
                 std::hint::black_box(model.predict_encoded_tape(&encoded))
             });
@@ -297,6 +404,7 @@ fn main() {
             threads: t,
             ms,
             flops: predict_flops,
+            peak_bytes,
         });
     }
 
@@ -305,7 +413,7 @@ fn main() {
     // from the plain predict row (one predictable branch per tape op); on
     // pays one extra pass over each op's output. ---
     sanitize::set_forced(Some(false));
-    let sanitize_off_ms = time_ms(3, || {
+    let (sanitize_off_ms, sanitize_off_peak) = bench(3, || {
         parallel::with_threads(1, || std::hint::black_box(model.predict_encoded(&encoded)));
     });
     rows.push(Row {
@@ -314,9 +422,10 @@ fn main() {
         threads: 1,
         ms: sanitize_off_ms,
         flops: 0,
+        peak_bytes: sanitize_off_peak,
     });
     sanitize::set_forced(Some(true));
-    let sanitize_on_ms = time_ms(3, || {
+    let (sanitize_on_ms, sanitize_on_peak) = bench(3, || {
         parallel::with_threads(1, || std::hint::black_box(model.predict_encoded(&encoded)));
     });
     rows.push(Row {
@@ -325,13 +434,14 @@ fn main() {
         threads: 1,
         ms: sanitize_on_ms,
         flops: 0,
+        peak_bytes: sanitize_on_peak,
     });
     sanitize::set_forced(None);
 
     // --- trace overhead pair: the same prediction with observability off vs
     // `full`. Off must be indistinguishable from plain predict (one relaxed
     // atomic load per probe); full pays a span per tape op. ---
-    let trace_off_ms = time_ms(3, || {
+    let (trace_off_ms, trace_off_peak) = bench(3, || {
         parallel::with_threads(1, || std::hint::black_box(model.predict_encoded(&encoded)));
     });
     rows.push(Row {
@@ -340,9 +450,13 @@ fn main() {
         threads: 1,
         ms: trace_off_ms,
         flops: 0,
+        peak_bytes: trace_off_peak,
     });
     adamel_obs::set_forced(Some(adamel_obs::TraceLevel::Full));
     let trace_full_ms = time_ms(3, || {
+        parallel::with_threads(1, || std::hint::black_box(model.predict_encoded(&encoded)));
+    });
+    let trace_full_peak = probe_peak_bytes(|| {
         parallel::with_threads(1, || std::hint::black_box(model.predict_encoded(&encoded)));
     });
     rows.push(Row {
@@ -351,6 +465,7 @@ fn main() {
         threads: 1,
         ms: trace_full_ms,
         flops: 0,
+        peak_bytes: trace_full_peak,
     });
     adamel_obs::set_forced(Some(adamel_obs::TraceLevel::Off));
 
@@ -361,7 +476,7 @@ fn main() {
     // daemon's end-to-end overhead on top of the `predict` rows above. ---
     let serve_batch = if smoke { 4 } else { 16 };
     let serve_corpus = if smoke { 64 } else { 512 };
-    let serve_ms = {
+    let (serve_ms, serve_peak) = {
         use adamel_serve::{Engine, EngineConfig, RecordLine, Server, ServerConfig};
         use std::io::{Read as _, Write as _};
         let serve_model = AdamelModel::new(AdamelConfig::paper(), schema.clone());
@@ -387,7 +502,7 @@ fn main() {
                 line.to_json() + "\n"
             })
             .collect();
-        let ms = time_ms(if smoke { 2 } else { 5 }, || {
+        let (ms, peak) = bench(if smoke { 2 } else { 5 }, || {
             let mut s = std::net::TcpStream::connect(addr)
                 .unwrap_or_else(|e| panic!("serve bench: connect: {e}"));
             write!(
@@ -402,9 +517,16 @@ fn main() {
             std::hint::black_box(response.len());
         });
         server.shutdown().unwrap_or_else(|e| panic!("serve bench: shutdown: {e}"));
-        ms
+        (ms, peak)
     };
-    rows.push(Row { kernel: "serve_latency", n: serve_batch, threads: 1, ms: serve_ms, flops: 0 });
+    rows.push(Row {
+        kernel: "serve_latency",
+        n: serve_batch,
+        threads: 1,
+        ms: serve_ms,
+        flops: 0,
+        peak_bytes: serve_peak,
+    });
 
     // --- optional instrumented exercise pass (--obs) ---
     let obs_json = if obs_mode {
@@ -447,6 +569,25 @@ fn main() {
         cache_after.distinct_records,
         cache_after.interned_tokens
     ));
+    // Memory summary: the largest per-row probe peak plus the final gauge
+    // snapshot (probe runs populate the ledger even though timed reps stay
+    // at forced Off, so this section never needs --obs).
+    let max_row_peak = rows.iter().map(|r| r.peak_bytes).max().unwrap_or(0);
+    out.push_str(&format!(
+        "  \"mem\": {{\"schema\": \"adamel-mem/v1\", \"max_row_peak_bytes\": {max_row_peak}, \"gauges\": {{"
+    ));
+    for (i, (name, gauge)) in adamel_obs::mem::snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "\"{}\": {{\"current\": {}, \"peak\": {}}}",
+            adamel_obs::json::escape(name),
+            gauge.current,
+            gauge.peak
+        ));
+    }
+    out.push_str("}},\n");
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let base = rows
@@ -457,13 +598,14 @@ fn main() {
         let speedup = if r.ms > 0.0 { base / r.ms } else { 1.0 };
         let gflops = if r.flops > 0 && r.ms > 0.0 { r.flops as f64 / (r.ms * 1e6) } else { 0.0 };
         out.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"n\": {}, \"threads\": {}, \"ms\": {:.3}, \"speedup\": {:.3}, \"gflops\": {:.3}}}{}\n",
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"threads\": {}, \"ms\": {:.3}, \"speedup\": {:.3}, \"gflops\": {:.3}, \"peak_bytes\": {}}}{}\n",
             r.kernel,
             r.n,
             r.threads,
             r.ms,
             speedup,
             gflops,
+            r.peak_bytes,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

@@ -105,11 +105,14 @@ impl Histogram {
         }
     }
 
-    /// Records one sample.
+    /// Records one sample. Counts saturate rather than overflow, like
+    /// [`sum`](Self::sum) — a histogram held for the process lifetime
+    /// must degrade, not panic, at the `u64` ceiling.
     #[inline]
     pub fn record(&mut self, v: u64) {
-        self.counts[Self::bucket_index(v)] += 1;
-        self.count += 1;
+        let i = Self::bucket_index(v);
+        self.counts[i] = self.counts[i].saturating_add(1);
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(v);
         if v < self.min {
             self.min = v;
@@ -136,9 +139,9 @@ impl Histogram {
     /// ```
     pub fn merge(&mut self, other: &Histogram) {
         for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *dst += src;
+            *dst = dst.saturating_add(*src);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
         if other.min < self.min {
             self.min = other.min;
@@ -292,8 +295,8 @@ impl Histogram {
             if blo != lo {
                 continue; // not a bucket boundary: skip rather than misfile
             }
-            h.counts[i] += count;
-            h.count += count;
+            h.counts[i] = h.counts[i].saturating_add(count);
+            h.count = h.count.saturating_add(count);
             // Midpoint approximation for the lost per-sample sum.
             let mid = blo + (bhi.saturating_sub(blo)) / 2;
             h.sum = h.sum.saturating_add(mid.saturating_mul(count));
@@ -503,6 +506,113 @@ mod tests {
         assert_eq!(h.nonzero_buckets(), vec![(8, 16, 2)]);
         assert_eq!(h.min(), Some(8));
         assert_eq!(h.max(), Some(15));
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_none_at_every_q() {
+        let h = Histogram::new();
+        for q in [-1.0, 0.0, 0.25, 0.5, 0.99, 1.0, 2.0, f64::NAN] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn single_bucket_histogram_quantiles_collapse_to_that_bucket() {
+        // Every sample in one bucket: all quantiles answer the same value
+        // (the bucket's hi, clamped to the observed max), including the
+        // out-of-range q values which clamp to [0, 1].
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(300); // bucket [256, 512)
+        }
+        for q in [-0.5, 0.0, 0.001, 0.5, 0.999, 1.0, 7.0] {
+            assert_eq!(h.quantile(q), Some(300), "q={q}");
+        }
+        assert_eq!(h.nonzero_buckets(), vec![(256, 512, 1000)]);
+
+        // Single *sample* is the degenerate single-bucket case.
+        let mut one = Histogram::new();
+        one.record(0);
+        assert_eq!(one.p50(), Some(0));
+        assert_eq!(one.p99(), Some(0));
+    }
+
+    #[test]
+    fn counts_saturate_instead_of_overflowing() {
+        // Record into a histogram already at the count ceiling: both the
+        // total and the per-bucket counter must pin at u64::MAX.
+        let mut a = Histogram::from_buckets(&[(4, 8, u64::MAX)]);
+        assert_eq!(a.count(), u64::MAX);
+        a.record(5);
+        assert_eq!(a.count(), u64::MAX);
+        assert_eq!(a.nonzero_buckets(), vec![(4, 8, u64::MAX)]);
+        // Merging two saturated histograms saturates too.
+        let b = Histogram::from_buckets(&[(4, 8, u64::MAX), (16, 32, 3)]);
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX);
+        assert_eq!(a.nonzero_buckets(), vec![(4, 8, u64::MAX), (16, 32, 3)]);
+        // from_buckets with triples summing past the ceiling saturates.
+        let c = Histogram::from_buckets(&[(1, 2, u64::MAX), (2, 4, u64::MAX)]);
+        assert_eq!(c.count(), u64::MAX);
+        // Quantiles on a saturated histogram still terminate and answer.
+        assert!(c.quantile(0.5).is_some());
+    }
+
+    /// Seeded splitmix64 — the same deterministic generator style the
+    /// tensor tests use for property inputs.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn from_buckets_round_trip_property() {
+        // For 64 seeded random histograms: serialize → rebuild must
+        // preserve counts, buckets, and quantile *buckets* exactly.
+        let mut state = 0xADA_3E1u64;
+        for trial in 0..64u64 {
+            let mut h = Histogram::new();
+            let samples = (splitmix(&mut state) % 200) as usize;
+            for _ in 0..samples {
+                // Spread magnitudes across the full bucket range.
+                let shift = splitmix(&mut state) % 64;
+                h.record(splitmix(&mut state) >> shift);
+            }
+            let buckets = h.nonzero_buckets();
+            let rebuilt = Histogram::from_buckets(&buckets);
+            assert_eq!(rebuilt.count(), h.count(), "trial {trial}");
+            assert_eq!(rebuilt.nonzero_buckets(), buckets, "trial {trial}");
+            // A second round-trip is a fixed point: bucket data is all
+            // that survives the wire, so nothing more can be lost.
+            let again = Histogram::from_buckets(&rebuilt.nonzero_buckets());
+            assert_eq!(again.count(), rebuilt.count(), "trial {trial}");
+            assert_eq!(again.sum(), rebuilt.sum(), "trial {trial}");
+            assert_eq!(again.min(), rebuilt.min(), "trial {trial}");
+            assert_eq!(again.max(), rebuilt.max(), "trial {trial}");
+            assert_eq!(again.nonzero_buckets(), rebuilt.nonzero_buckets(), "trial {trial}");
+            for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(again.quantile(q), rebuilt.quantile(q), "trial {trial} q={q}");
+                // Original vs rebuilt agree on the quantile's bucket.
+                match (h.quantile(q), rebuilt.quantile(q)) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        let (lo, hi) = Histogram::bucket_range(Histogram::bucket_index(a));
+                        assert!(
+                            b >= lo && (b <= hi || Histogram::bucket_index(a) == BUCKETS - 1),
+                            "trial {trial} q={q}: rebuilt {b} outside original bucket [{lo},{hi}]"
+                        );
+                    }
+                    (a, b) => panic!("trial {trial} q={q}: emptiness diverged {a:?} vs {b:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! report (see [`report`]) — plus a schema-versioned JSONL *run ledger*
 //! ([`runlog`], gated by `ADAMEL_RUNLOG=<path>`) recording what the model
 //! did (manifest, per-epoch losses, drift warnings, metrics) rather than
-//! where the time went, and a minimal JSON parser ([`json`]) so the
-//! `adamel-report` tooling can read both back.
+//! where the time went, a logical memory ledger ([`mem`]: named byte
+//! gauges with peak tracking, answering "where do the bytes go" without
+//! an allocator hook), and a minimal JSON parser ([`json`]) so the
+//! `adamel-report` tooling can read everything back.
 //!
 //! The paper's ablations (PVLDB 14(1), §5) hinge on *per-component*
 //! measurements — encoding (Eq. 3–4), attention (Eq. 5–6), classifier
@@ -67,6 +69,7 @@ mod registry;
 mod span;
 
 pub mod json;
+pub mod mem;
 pub mod report;
 pub mod runlog;
 

@@ -12,6 +12,7 @@ use std::sync::{Mutex, MutexGuard};
 
 use crate::hist::Histogram;
 use crate::level::enabled;
+use crate::mem::MemGauge;
 
 /// Running statistics over every observation of a named value: count,
 /// sum, min, max, and the most recent sample.
@@ -97,12 +98,15 @@ pub(crate) struct Registry {
     pub(crate) counters: BTreeMap<String, u64>,
     /// Value name → running statistics.
     pub(crate) values: BTreeMap<String, ValueStat>,
+    /// Memory gauge name → current/peak logical bytes.
+    pub(crate) mem: BTreeMap<String, MemGauge>,
 }
 
 static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
     spans: BTreeMap::new(),
     counters: BTreeMap::new(),
     values: BTreeMap::new(),
+    mem: BTreeMap::new(),
 });
 
 /// Locks the registry, recovering from poison: the registry holds plain
@@ -208,6 +212,7 @@ mod tests {
         reg.spans.clear();
         reg.counters.clear();
         reg.values.clear();
+        reg.mem.clear();
     }
 
     #[test]

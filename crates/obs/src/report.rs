@@ -25,12 +25,19 @@
 //!   "values": {
 //!     "train.loss_epoch": { "count": 3, "mean": 0.4, "min": 0.3,
 //!                            "max": 0.5, "last": 0.3 }
+//!   },
+//!   "mem": {
+//!     "schema": "adamel-mem/v1",
+//!     "gauges": { "tensor.pool.bytes": { "current": 8192, "peak": 16384 } }
 //!   }
 //! }
 //! ```
 //!
 //! Span durations are nanoseconds; `buckets` lists only non-empty
-//! log2 buckets as `[lo, hi, count]`.
+//! log2 buckets as `[lo, hi, count]`. The `mem` section carries the
+//! logical memory ledger (see [`crate::mem`]); its gauges are plain
+//! byte gauges, nested under their own schema tag so memory-gate
+//! tooling can version them independently of the span report.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,6 +50,9 @@ use crate::span::spans_entered;
 
 /// Report schema identifier embedded in every export.
 pub const SCHEMA: &str = "adamel-obs/v1";
+
+/// Schema identifier of the nested `"mem"` (memory ledger) section.
+pub const MEM_SCHEMA: &str = "adamel-mem/v1";
 
 fn span_json(h: &Histogram) -> String {
     let mut s = String::new();
@@ -142,8 +152,58 @@ pub fn render_json() -> String {
     if !reg.values.is_empty() {
         out.push_str("\n  ");
     }
-    out.push_str("}\n}");
+    out.push_str("},");
+
+    let _ = write!(out, "\n  \"mem\": {{\"schema\": \"{MEM_SCHEMA}\", \"gauges\": {{");
+    for (i, (name, gauge)) in reg.mem.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    \"{}\": {{\"current\": {}, \"peak\": {}}}",
+            escape(name),
+            gauge.current,
+            gauge.peak,
+        );
+    }
+    if !reg.mem.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("}}\n}");
     out
+}
+
+/// The recorded spans whose full path starts with `prefix`, each rendered
+/// as the same JSON stats object the report's `"spans"` section uses
+/// (`count`/`total_ms`/percentiles/`buckets`), in path order. Lets a
+/// service surface a focused slice of the registry — e.g. per-endpoint
+/// request-latency histograms — without re-parsing the full report.
+///
+/// # Examples
+///
+/// ```
+/// use adamel_obs as obs;
+///
+/// obs::set_forced(Some(obs::TraceLevel::Spans));
+/// obs::report::reset();
+/// {
+///     let _s = obs::span("doc.prefix.get");
+/// }
+/// let spans = obs::report::spans_with_prefix("doc.prefix.");
+/// assert_eq!(spans.len(), 1);
+/// assert_eq!(spans[0].0, "doc.prefix.get");
+/// assert!(spans[0].1.contains("\"count\": 1"));
+/// obs::set_forced(None);
+/// obs::report::reset();
+/// ```
+pub fn spans_with_prefix(prefix: &str) -> Vec<(String, String)> {
+    let reg = registry::lock();
+    reg.spans
+        .iter()
+        .filter(|(path, _)| path.starts_with(prefix))
+        .map(|(path, hist)| (path.clone(), span_json(hist)))
+        .collect()
 }
 
 /// Writes [`render_json`] output to `path`.
@@ -176,6 +236,7 @@ pub fn reset() {
     reg.spans.clear();
     reg.counters.clear();
     reg.values.clear();
+    reg.mem.clear();
 }
 
 /// Drop guard that writes the JSON report when it goes out of scope —
@@ -246,6 +307,8 @@ mod tests {
         }
         counter_add("r.counter", 9);
         record_value("r.value", 1.5);
+        crate::mem::add("r.mem", 2048);
+        crate::mem::sub("r.mem", 1024);
         let json = render_json();
         assert!(json.contains("\"schema\": \"adamel-obs/v1\""));
         assert!(json.contains("\"r_outer\""));
@@ -253,6 +316,8 @@ mod tests {
         assert!(json.contains("\"r.counter\": 9"));
         assert!(json.contains("\"r.value\""));
         assert!(json.contains("\"last\": 1.5"));
+        assert!(json.contains("\"mem\": {\"schema\": \"adamel-mem/v1\""));
+        assert!(json.contains("\"r.mem\": {\"current\": 1024, \"peak\": 2048}"));
         set_forced(None);
         reset();
     }
@@ -266,7 +331,9 @@ mod tests {
         assert!(json.contains("\"spans\": {}"));
         assert!(json.contains("\"counters\": {}"));
         assert!(json.contains("\"values\": {}"));
+        assert!(json.contains("\"gauges\": {}"));
         assert!(json.ends_with('}'));
+        crate::json::Json::parse(&json).expect("empty report parses as JSON");
         set_forced(None);
     }
 

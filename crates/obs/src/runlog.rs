@@ -51,6 +51,7 @@
 //! runlog::set_forced_path(None);
 //! ```
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
@@ -89,6 +90,61 @@ fn lock<T>(m: &'static Mutex<T>) -> MutexGuard<'static, T> {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
     }
+}
+
+thread_local! {
+    /// The request trace id bound to this thread, if any; every event
+    /// emitted while it is set carries a `"trace_id"` field.
+    static TRACE_ID: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// RAII binding of a trace id to the current thread (see [`trace_scope`]).
+/// Dropping it restores whatever id was bound before — scopes nest.
+#[derive(Debug)]
+#[must_use = "the trace id unbinds when this scope drops"]
+pub struct TraceScope {
+    prev: Option<u64>,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        TRACE_ID.with(|c| c.set(self.prev));
+    }
+}
+
+/// Binds `id` as the current thread's trace id until the returned scope
+/// drops. While bound, every ledger line emitted from this thread gains a
+/// `"trace_id": id` field, which is how a served request's `link` /
+/// `drift` / `warn` events become joinable with its HTTP response and
+/// `/metrics` span paths. Ids come from a deterministic request counter,
+/// never a clock, so ledgers stay byte-identical across identical runs.
+///
+/// The binding is thread-local: work handed to other threads (e.g. a
+/// parallel scoring pool) is not tagged — only events emitted from the
+/// request's own thread are.
+///
+/// # Examples
+///
+/// ```
+/// use adamel_obs::runlog;
+///
+/// runlog::set_forced_path(Some("")); // disabled: emit is inert either way
+/// {
+///     let _t = runlog::trace_scope(7);
+///     assert_eq!(runlog::current_trace_id(), Some(7));
+///     runlog::event("link").int("scored", 3).emit();
+/// }
+/// assert_eq!(runlog::current_trace_id(), None);
+/// runlog::set_forced_path(None);
+/// ```
+pub fn trace_scope(id: u64) -> TraceScope {
+    let prev = TRACE_ID.with(|c| c.replace(Some(id)));
+    TraceScope { prev }
+}
+
+/// The trace id currently bound to this thread, if any.
+pub fn current_trace_id() -> Option<u64> {
+    TRACE_ID.with(Cell::get)
 }
 
 /// `ADAMEL_RUNLOG` read once per process; empty counts as unset.
@@ -253,7 +309,8 @@ pub fn event(kind: &str) -> EventBuilder {
 
 /// Per-kind counts of ledger events emitted so far in this process, in
 /// kind order. Inert emits (ledger disabled) are not counted. Counts keep
-/// accumulating across [`set_forced_path`] switches, like [`SEQ`].
+/// accumulating across [`set_forced_path`] switches, like the private
+/// per-process sequence counter.
 ///
 /// # Examples
 ///
@@ -359,10 +416,15 @@ impl EventBuilder {
         self
     }
 
-    /// Stamps the sequence number and writes the line to the ledger.
-    /// No-op when the ledger is disabled.
+    /// Stamps the thread's trace id (when one is bound — see
+    /// [`trace_scope`]) and the sequence number, then writes the line to
+    /// the ledger. No-op when the ledger is disabled.
     pub fn emit(self) {
         if let Some(mut buf) = self.buf {
+            if let Some(id) = current_trace_id() {
+                buf.push_str(", \"trace_id\": ");
+                buf.push_str(&id.to_string());
+            }
             let seq = SEQ.fetch_add(1, Ordering::Relaxed);
             buf.push_str(", \"seq\": ");
             buf.push_str(&seq.to_string());
@@ -481,6 +543,34 @@ mod tests {
             .map(|(_, n)| n)
             .unwrap_or(0);
         assert_eq!(after - before, 2);
+        let _ = std::fs::remove_file(&path);
+        set_forced_path(None);
+    }
+
+    #[test]
+    fn trace_scope_tags_events_and_nests() {
+        let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let path = tmp_path("trace");
+        set_forced_path(Some(&path));
+        event("link").int("scored", 1).emit(); // no scope: no trace_id
+        {
+            let _outer = trace_scope(41);
+            {
+                let _inner = trace_scope(42);
+                event("link").int("scored", 2).emit();
+            }
+            event("drift").str("source", "s").emit(); // back to outer id
+        }
+        assert_eq!(current_trace_id(), None);
+        flush();
+        set_forced_path(Some(""));
+
+        let text = std::fs::read_to_string(&path).expect("ledger readable");
+        let lines: Vec<Json> = text.lines().map(|l| Json::parse(l).expect("line parses")).collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].get("trace_id"), None);
+        assert_eq!(lines[1].get("trace_id").and_then(Json::as_u64), Some(42));
+        assert_eq!(lines[2].get("trace_id").and_then(Json::as_u64), Some(41));
         let _ = std::fs::remove_file(&path);
         set_forced_path(None);
     }

@@ -182,6 +182,7 @@ mod tests {
         reg.spans.clear();
         reg.counters.clear();
         reg.values.clear();
+        reg.mem.clear();
     }
 
     fn span_count(path: &str) -> u64 {

@@ -145,6 +145,23 @@ impl EncodeCache {
     pub(crate) fn clear(&mut self) {
         let embedder = self.vocab.embedder().clone();
         *self = EncodeCache::new(embedder, self.crop, self.attrs);
+        self.observe_mem();
+    }
+
+    /// Reports the cache's absolute logical footprint into the memory
+    /// ledger: the arena/table capacities under `schema.encode_cache.bytes`
+    /// and the interning vocabulary under `text.vocab.bytes`. One relaxed
+    /// atomic load when tracing is off.
+    fn observe_mem(&self) {
+        if !adamel_obs::enabled() {
+            return;
+        }
+        let bytes = self.ids.capacity() * 4
+            + self.ranges.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.sums.capacity() * 4
+            + self.slots.capacity() * std::mem::size_of::<(u128, u32)>();
+        adamel_obs::mem::observe("schema.encode_cache.bytes", bytes as u64);
+        adamel_obs::mem::observe("text.vocab.bytes", self.vocab.approx_bytes());
     }
 
     /// Content key of `record` under `schema`: values in canonical attribute
@@ -262,6 +279,7 @@ impl EncodeCache {
                 }
             }
         });
+        self.observe_mem();
         out
     }
 

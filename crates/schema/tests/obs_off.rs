@@ -45,6 +45,10 @@ fn trace_off_records_nothing_and_changes_nothing() {
     let json = adamel_obs::report::render_json();
     assert!(json.contains("\"spans\": {}"), "registry picked up spans: {json}");
     assert!(json.contains("\"counters\": {}"), "registry picked up counters: {json}");
+    // The memory ledger obeys the same off-means-off contract: the encode
+    // cache and vocab observers add zero gauges while tracing is off.
+    assert!(json.contains("\"gauges\": {}"), "registry picked up mem gauges: {json}");
+    assert!(adamel_obs::mem::snapshot().is_empty(), "mem ledger populated while off");
 
     // Observation must never change numeric results: the same encode under
     // full tracing (fresh extractor, cold cache again) produces identical
@@ -61,6 +65,14 @@ fn trace_off_records_nothing_and_changes_nothing() {
     assert!(json.contains("encode_record"), "missing encode_record op span: {json}");
     assert!(json.contains("encode.cache.hit"), "missing cache hit counter: {json}");
     assert!(json.contains("encode.cache.miss"), "missing cache miss counter: {json}");
+    assert!(json.contains("encode.embed_hash"), "missing embed_hash instrumentation: {json}");
+    // With tracing on, the cache-build boundary reports both footprints.
+    for gauge in ["schema.encode_cache.bytes", "text.vocab.bytes"] {
+        assert!(
+            adamel_obs::mem::peak(gauge).unwrap_or(0) > 0,
+            "{gauge} gauge missing under full tracing"
+        );
+    }
 
     adamel_obs::set_forced(None);
     adamel_obs::report::reset();

@@ -169,6 +169,47 @@ fn expect_200(step: &str, got: Result<(u16, String), String>) -> Result<String, 
     }
 }
 
+/// Schema/shape check on the final `/metrics` document. A malformed or
+/// structurally empty document fails the selftest (and with it serve CI)
+/// even though the HTTP exchange itself succeeded.
+fn validate_metrics(doc: &str) -> Result<(), String> {
+    let v =
+        adamel_obs::json::Json::parse(doc).map_err(|e| format!("metrics: not valid JSON: {e}"))?;
+    if v.get("schema").and_then(|s| s.as_str()) != Some("adamel-serve-metrics/v1") {
+        return Err(format!("metrics: wrong or missing schema in {doc:?}"));
+    }
+    let counters =
+        v.get("counters").and_then(|c| c.as_object()).ok_or("metrics: missing counters object")?;
+    if counters.is_empty() {
+        return Err("metrics: counters object is empty".to_string());
+    }
+    for key in ["requests_total", "link_batches", "upserts"] {
+        let n = counters
+            .get(key)
+            .and_then(|n| n.as_u64())
+            .ok_or_else(|| format!("metrics: counter {key:?} missing or not a number"))?;
+        if n == 0 {
+            return Err(format!("metrics: counter {key:?} is zero after selftest traffic"));
+        }
+    }
+    let queue = v.get("queue").ok_or("metrics: missing queue object")?;
+    if queue.get("capacity").and_then(|n| n.as_u64()).is_none_or(|c| c == 0) {
+        return Err("metrics: queue capacity missing or zero".to_string());
+    }
+    if v.get("endpoints").and_then(|e| e.as_object()).is_none() {
+        return Err("metrics: missing endpoints object".to_string());
+    }
+    let obs = v.get("obs").ok_or("metrics: missing embedded obs report")?;
+    let mem = obs.get("mem").ok_or("metrics: obs report has no mem section")?;
+    if mem.get("schema").and_then(|s| s.as_str()) != Some("adamel-mem/v1") {
+        return Err("metrics: mem section has wrong or missing schema".to_string());
+    }
+    if mem.get("gauges").and_then(|g| g.as_object()).is_none() {
+        return Err("metrics: mem section has no gauges object".to_string());
+    }
+    Ok(())
+}
+
 fn run_selftest(metrics_out: Option<&str>) -> Result<(), String> {
     let drift = DriftConfig {
         seen_sources: [0u32, 1].into_iter().collect(),
@@ -201,6 +242,15 @@ fn run_selftest(metrics_out: Option<&str>) -> Result<(), String> {
     if !body.lines().any(|l| l.contains("\"score_bits\"")) {
         return Err(format!("link: no matches in {body:?}"));
     }
+    let summary = body
+        .lines()
+        .find(|l| l.contains("\"summary\""))
+        .ok_or_else(|| format!("link: no summary line in {body:?}"))?;
+    let summary = adamel_obs::json::Json::parse(summary)
+        .map_err(|e| format!("link: summary is not valid JSON: {e}"))?;
+    if summary.get("summary").and_then(|s| s.get("trace_id")).and_then(|t| t.as_u64()).is_none() {
+        return Err("link: summary carries no trace_id".to_string());
+    }
 
     let health = expect_200("healthz", request(addr, "GET", "/healthz", ""))?;
     if !health.contains("\"status\": \"ok\"") {
@@ -216,9 +266,7 @@ fn run_selftest(metrics_out: Option<&str>) -> Result<(), String> {
     }
 
     let metrics = expect_200("metrics", request(addr, "GET", "/metrics", ""))?;
-    if !metrics.contains("adamel-serve-metrics/v1") {
-        return Err(format!("metrics: unexpected body {metrics:?}"));
-    }
+    validate_metrics(&metrics)?;
     if let Some(path) = metrics_out {
         std::fs::write(path, &metrics).map_err(|e| format!("write {path:?}: {e}"))?;
         println!("selftest: metrics written to {path}");

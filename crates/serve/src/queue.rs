@@ -6,6 +6,7 @@
 //! an unbounded backlog absorb load invisibly. Consumers block in
 //! [`BoundedQueue::pop`] until an item or shutdown arrives.
 
+use adamel_obs::mem::MemScope;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
 
@@ -19,7 +20,9 @@ pub enum PushError<T> {
 }
 
 struct State<T> {
-    items: VecDeque<T>,
+    /// Each queued item carries its `serve.queue.bytes` ledger credit;
+    /// dropping the scope (on pop or queue teardown) releases it.
+    items: VecDeque<(T, MemScope)>,
     closed: bool,
 }
 
@@ -88,7 +91,8 @@ impl<T> BoundedQueue<T> {
         if st.items.len() >= self.capacity {
             return Err(PushError::Full(item));
         }
-        st.items.push_back(item);
+        let scope = MemScope::new("serve.queue.bytes", std::mem::size_of::<T>() as u64);
+        st.items.push_back((item, scope));
         drop(st);
         self.ready.notify_one();
         Ok(())
@@ -99,7 +103,7 @@ impl<T> BoundedQueue<T> {
     pub fn pop(&self) -> Option<T> {
         let mut st = self.lock();
         loop {
-            if let Some(item) = st.items.pop_front() {
+            if let Some((item, _scope)) = st.items.pop_front() {
                 return Some(item);
             }
             if st.closed {

@@ -49,8 +49,9 @@ impl Default for ServerConfig {
 
 impl ServerConfig {
     /// Defaults overridden by `ADAMEL_SERVE_ADDR`, `ADAMEL_SERVE_WORKERS`,
-    /// and `ADAMEL_SERVE_QUEUE`. Unparsable values fall back silently to
-    /// the defaults (a daemon should boot, not die on a typo).
+    /// `ADAMEL_SERVE_QUEUE`, and `ADAMEL_SERVE_MAX_BODY` (bytes).
+    /// Unparsable values fall back silently to the defaults (a daemon
+    /// should boot, not die on a typo).
     pub fn from_env() -> Self {
         let mut cfg = Self::default();
         if let Ok(addr) = std::env::var("ADAMEL_SERVE_ADDR") {
@@ -63,6 +64,9 @@ impl ServerConfig {
         }
         if let Some(n) = env_usize("ADAMEL_SERVE_QUEUE") {
             cfg.queue_capacity = n;
+        }
+        if let Some(n) = env_usize("ADAMEL_SERVE_MAX_BODY") {
+            cfg.max_body_bytes = n;
         }
         cfg
     }
@@ -181,7 +185,15 @@ fn handle_connection(
     let (status, reason, body) = match request {
         Ok(req) => {
             engine.note_request();
-            route(engine, queue, &req)
+            // Request-scoped tracing: a deterministic id (arrival-order
+            // counter, never a clock) joins this request's endpoint span,
+            // its `req.{id}` op span (Full level), its runlog events, and
+            // — for `/link` — the response summary.
+            let trace_id = engine.next_trace_id();
+            let _endpoint = adamel_obs::span(endpoint_label(&req.method, &req.path));
+            let _request = adamel_obs::op_span(&format!("req.{trace_id}"));
+            let _trace = adamel_obs::runlog::trace_scope(trace_id);
+            route(engine, queue, &req, trace_id)
         }
         Err(HttpError::TooLarge { declared, limit }) => (
             413,
@@ -199,10 +211,25 @@ fn read_limited(stream: impl Read, max_body: usize) -> Result<Request, HttpError
     http::read_request(&mut reader, max_body)
 }
 
+/// The span name a request is timed under in the `/metrics` `endpoints`
+/// section. One label per route so the histograms stay low-cardinality.
+fn endpoint_label(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("GET", "/healthz") => "serve.healthz",
+        ("GET", "/metrics") => "serve.metrics",
+        ("POST", "/records") => "serve.records.upsert",
+        ("DELETE", "/records") => "serve.records.delete",
+        ("POST", "/link") => "serve.link",
+        ("POST", "/model") => "serve.model",
+        _ => "serve.other",
+    }
+}
+
 fn route(
     engine: &Engine,
     queue: &BoundedQueue<TcpStream>,
     req: &Request,
+    trace_id: u64,
 ) -> (u16, &'static str, String) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (200, "OK", engine.health().to_json()),
@@ -234,7 +261,7 @@ fn route(
                     body.push('\n');
                 }
                 body.push_str(&format!(
-                    "{{\"summary\": {{\"queries\": {}, \"candidates\": {}, \"matches\": {}, \"corpus_records\": {}}}}}\n",
+                    "{{\"summary\": {{\"queries\": {}, \"candidates\": {}, \"matches\": {}, \"corpus_records\": {}, \"trace_id\": {trace_id}}}}}\n",
                     queries.len(),
                     outcome.candidates,
                     outcome.matches.len(),

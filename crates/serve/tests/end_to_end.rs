@@ -214,6 +214,93 @@ fn served_links_are_bit_identical_and_drift_reaches_the_ledger() {
 }
 
 #[test]
+fn trace_id_joins_link_response_runlog_and_metrics_at_full() {
+    let _guard = serialized();
+    let ledger =
+        std::env::temp_dir().join(format!("adamel-serve-trace-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&ledger);
+    adamel_obs::runlog::set_forced_path(ledger.to_str());
+    adamel_obs::set_forced(Some(adamel_obs::TraceLevel::Full));
+    adamel_obs::report::reset();
+
+    let engine = Arc::new(Engine::new(
+        Linker::new(trained_model(), LinkerConfig::default()),
+        EngineConfig::default(),
+    ));
+    let server = Server::start(engine, ServerConfig::default()).expect("bind ephemeral port");
+    let addr = server.addr();
+    let (status, _) = request(addr, "POST", "/records", &jsonl(&corpus()));
+    assert_eq!(status, 200);
+
+    // The /link response summary carries the request's trace id …
+    let queries = vec![rec(9, 1, "alpha beta")];
+    let (status, body) = request(addr, "POST", "/link", &jsonl(&queries));
+    assert_eq!(status, 200, "{body}");
+    let summary = body.lines().find(|l| l.contains("\"summary\"")).expect("summary line");
+    let trace_id = Json::parse(summary)
+        .expect("summary json")
+        .get("summary")
+        .and_then(|s| s.get("trace_id"))
+        .and_then(Json::as_u64)
+        .expect("trace_id in summary");
+
+    // … the same id tags a `req.{id}` op span nested under the endpoint
+    // span in /metrics, whose `endpoints` section also times the route …
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let m = Json::parse(&metrics).expect("metrics json");
+    let spans = m.get("obs").and_then(|o| o.get("spans")).and_then(Json::as_object).expect("spans");
+    let wanted = format!("serve.link/req.{trace_id}");
+    assert!(
+        spans.keys().any(|k| k == &wanted),
+        "no span path {wanted:?} among {:?}",
+        spans.keys().collect::<Vec<_>>()
+    );
+    let endpoints = m.get("endpoints").and_then(Json::as_object).expect("endpoints");
+    let link_count =
+        endpoints.get("serve.link").and_then(|e| e.get("count")).and_then(Json::as_u64);
+    assert_eq!(link_count, Some(1), "endpoints section times the /link route");
+
+    // … and with tracing on, mem gauges are live in the embedded report.
+    let gauges = m
+        .get("obs")
+        .and_then(|o| o.get("mem"))
+        .and_then(|mem| mem.get("gauges"))
+        .and_then(Json::as_object)
+        .expect("mem gauges");
+    assert!(
+        gauges.contains_key("schema.live_index.snapshot.bytes"),
+        "snapshot gauge missing from {:?}",
+        gauges.keys().collect::<Vec<_>>()
+    );
+
+    server.shutdown().expect("clean shutdown");
+    adamel_obs::runlog::flush();
+
+    // … and the runlog `link` event emitted inside that request carries
+    // the same id, so one request joins across all three surfaces.
+    let text = std::fs::read_to_string(&ledger).expect("ledger written");
+    let mut found = false;
+    for line in text.lines() {
+        let Ok(v) = Json::parse(line) else { continue };
+        if v.get("event").and_then(Json::as_str) == Some("link") {
+            assert_eq!(
+                v.get("trace_id").and_then(Json::as_u64),
+                Some(trace_id),
+                "link event not tagged with the request's trace id: {line}"
+            );
+            found = true;
+        }
+    }
+    assert!(found, "no link event in the ledger: {text}");
+
+    adamel_obs::set_forced(None);
+    adamel_obs::report::reset();
+    adamel_obs::runlog::set_forced_path(None);
+    let _ = std::fs::remove_file(&ledger);
+}
+
+#[test]
 fn hot_swap_is_atomic_under_concurrent_traffic() {
     let _guard = serialized();
     adamel_obs::runlog::set_forced_path(Some("")); // forced off

@@ -1,4 +1,4 @@
-//! Cache-blocked GEMM microkernels behind the three [`Matrix`] matmul
+//! Cache-blocked GEMM microkernels behind the three [`Matrix`](crate::Matrix) matmul
 //! variants.
 //!
 //! The naive `ikj` loops stream the full `B` operand through cache once per
@@ -119,10 +119,15 @@ pub(crate) fn gemm(
     // Pack B once, on the dispatching thread; workers share it read-only.
     let mut bbuf = PACK_B.with(Cell::take);
     pack_b(k, m, b, &mut bbuf);
+    // Absolute arena observations: each thread's arena is retained at its
+    // grown capacity, so capacity *is* the footprint. `pack_a` reports the
+    // max across workers (every worker observes the same gauge).
+    adamel_obs::mem::observe("tensor.gemm.pack_b.bytes", (bbuf.capacity() * 4) as u64);
     let bpacked: &[f32] = &bbuf;
     parallel::parallel_for_row_blocks(out, m, MC, 2 * k * m, |i0, c_block| {
         let mut abuf = PACK_A.with(Cell::take);
         gemm_block(i0, c_block.len() / m, k, m, a, bpacked, c_block, &mut abuf);
+        adamel_obs::mem::observe("tensor.gemm.pack_a.bytes", (abuf.capacity() * 4) as u64);
         PACK_A.with(|c| c.set(abuf));
     });
     PACK_B.with(|c| c.set(bbuf));

@@ -6,7 +6,7 @@
 //! intermediate. A [`CompiledPlan`] is built **once** from a probe forward
 //! pass and then *replayed*: the op sequence is frozen into a step list,
 //! parameters are read by reference from the live
-//! [`ParamSet`](crate::params::ParamSet) at replay time (so a plan stays
+//! [`crate::params::ParamSet`] at replay time (so a plan stays
 //! valid across training and [`ParamSet::restore`](crate::params::ParamSet)),
 //! and every intermediate lands in a reusable [`PlanBuffers`] arena —
 //! steady-state replay performs no graph construction, no parameter clones,
@@ -156,6 +156,19 @@ impl PlanBuffers {
     pub fn new() -> Self {
         Self { bufs: Vec::new(), input_scratch: Matrix::default() }
     }
+
+    /// Logical footprint of the arena in bytes: every intermediate buffer
+    /// plus the input staging matrix. Feeds the `tensor.plan.pool.bytes`
+    /// memory gauge.
+    pub fn logical_bytes(&self) -> u64 {
+        let elems: usize = self
+            .bufs
+            .iter()
+            .map(|m| m.as_slice().len())
+            .sum::<usize>()
+            .saturating_add(self.input_scratch.as_slice().len());
+        (elems * 4) as u64
+    }
 }
 
 /// A mutex-guarded stash of [`PlanBuffers`] so concurrent chunk workers
@@ -175,11 +188,16 @@ impl BufferPool {
 
     /// Takes a warm arena if one is stashed, else a fresh empty one.
     pub fn checkout(&self) -> PlanBuffers {
-        self.slots.lock().unwrap_or_else(|e| e.into_inner()).pop().unwrap_or_default()
+        let bufs = self.slots.lock().unwrap_or_else(|e| e.into_inner()).pop().unwrap_or_default();
+        // The gauge tracks bytes *parked* in the pool: checked-out arenas
+        // leave it, returned arenas re-enter at their (possibly grown) size.
+        adamel_obs::mem::sub("tensor.plan.pool.bytes", bufs.logical_bytes());
+        bufs
     }
 
     /// Returns an arena to the pool for the next checkout.
     pub fn put_back(&self, bufs: PlanBuffers) {
+        adamel_obs::mem::add("tensor.plan.pool.bytes", bufs.logical_bytes());
         self.slots.lock().unwrap_or_else(|e| e.into_inner()).push(bufs);
     }
 }

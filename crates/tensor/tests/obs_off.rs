@@ -29,12 +29,21 @@ fn trace_off_records_nothing_and_changes_nothing() {
     let json = adamel_obs::report::render_json();
     assert!(json.contains("\"spans\": {}"), "registry picked up spans: {json}");
     assert!(json.contains("\"counters\": {}"), "registry picked up counters: {json}");
+    // The memory ledger obeys the same off-means-off contract: the tape,
+    // matmul packing arenas, and graph-drop observers add zero gauges.
+    assert!(json.contains("\"gauges\": {}"), "registry picked up mem gauges: {json}");
+    assert!(adamel_obs::mem::snapshot().is_empty(), "mem ledger populated while off");
 
     // Observation must never change numeric results: the same tape under
     // full tracing produces the bit-identical loss.
     adamel_obs::set_forced(Some(adamel_obs::TraceLevel::Full));
     let loss_full = run_tape();
     assert_eq!(loss_off.to_bits(), loss_full.to_bits());
+    // With tracing on, the graph-drop observer reports the tape footprint.
+    assert!(
+        adamel_obs::mem::peak("tensor.graph.bytes").unwrap_or(0) > 0,
+        "tensor.graph.bytes gauge missing under full tracing"
+    );
 
     adamel_obs::set_forced(None);
     adamel_obs::report::reset();

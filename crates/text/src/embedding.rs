@@ -84,6 +84,11 @@ impl HashedFastText {
     /// [`embed_token`](Self::embed_token) writing into a caller-provided
     /// `dim`-length buffer (overwritten, not accumulated).
     pub fn embed_token_into(&self, token: &str, out: &mut [f32]) {
+        // The cold-encode hot spot (ROADMAP item 1 follow-on): every n-gram
+        // of every first-seen token is hashed here. The op span (Full level)
+        // and counter quantify exactly how much of a cold build this is.
+        adamel_obs::trace_op!("encode.embed_hash");
+        adamel_obs::trace_count!("encode.embed_hash", 1);
         assert_eq!(out.len(), self.dim, "embed_token_into: buffer length mismatch");
         out.fill(0.0);
         if token.is_empty() {

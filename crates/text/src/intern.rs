@@ -134,6 +134,16 @@ impl TokenVocab {
     pub fn embedder(&self) -> &HashedFastText {
         &self.embedder
     }
+
+    /// Approximate logical footprint in bytes: the embedding table and
+    /// missing vector plus every interned token string (counted twice —
+    /// once as a map key, once in the id → token list). Feeds the
+    /// `text.vocab.bytes` memory gauge.
+    pub fn approx_bytes(&self) -> u64 {
+        let floats = (self.table.capacity() + self.missing.len()) * 4;
+        let strings: usize = self.tokens.iter().map(|t| 2 * t.len()).sum();
+        (floats + strings) as u64
+    }
 }
 
 #[cfg(test)]
